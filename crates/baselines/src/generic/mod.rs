@@ -1,0 +1,180 @@
+//! Emulations of the generic second-stage compilers.
+//!
+//! The paper runs every first-stage output (Paulihedral or TK) through an
+//! industry generic compiler: Qiskit at optimization level 3 or t|ket⟩ at
+//! level 2. Those are closed Python stacks; what the paper uses them for is
+//! (a) routing circuits that are not hardware-conformant and (b) gate-level
+//! clean-up (single-qubit fusion, CX cancellation, commutative
+//! cancellation). The two pipelines here implement exactly that role with
+//! different pass mixes, mirroring how the two products differ:
+//!
+//! * [`qiskit_l3_like`] — SABRE routing + iterated {fusion, commutative
+//!   cancellation} to a fixpoint,
+//! * [`tket_o2_like`] — path-based token routing + one fusion pass +
+//!   cancellation.
+
+pub mod sabre;
+
+use qcircuit::{fusion, peephole, Circuit, Gate};
+use qdevice::{CouplingMap, Layout};
+
+/// Output of a generic pipeline.
+#[derive(Clone, Debug)]
+pub struct GenericResult {
+    /// The optimized (and, if requested, routed) circuit with SWAPs
+    /// decomposed into CNOTs.
+    pub circuit: Circuit,
+    /// Layouts when the pipeline performed routing.
+    pub initial_l2p: Option<Vec<usize>>,
+    /// Final layout when the pipeline performed routing.
+    pub final_l2p: Option<Vec<usize>>,
+}
+
+/// What the pipeline should do about qubit mapping.
+#[derive(Clone, Copy, Debug)]
+pub enum Mapping<'a> {
+    /// Logical target (FT backend): no routing.
+    None,
+    /// The circuit must be routed onto the device.
+    Route(&'a CouplingMap),
+    /// The circuit is already hardware-conformant (e.g. Paulihedral SC
+    /// output); only clean-up runs.
+    AlreadyMapped,
+}
+
+fn cleanup_fixpoint(circuit: &mut Circuit, max_rounds: usize) {
+    for _ in 0..max_rounds {
+        let removed = fusion::fuse_single_qubit_runs(circuit);
+        let report = peephole::optimize(circuit);
+        if removed == 0 && report.cancelled + report.merged + report.zero_rotations == 0 {
+            break;
+        }
+    }
+}
+
+/// The Qiskit-level-3-like pipeline: SABRE routing (if needed), SWAP
+/// decomposition, then {single-qubit fusion + commutative cancellation} to
+/// a fixpoint.
+pub fn qiskit_l3_like(circuit: &Circuit, mapping: Mapping<'_>) -> GenericResult {
+    let (mut c, initial, final_) = match mapping {
+        Mapping::Route(device) => {
+            let r = sabre::route(circuit, device);
+            (r.circuit, Some(r.initial_l2p), Some(r.final_l2p))
+        }
+        Mapping::None | Mapping::AlreadyMapped => (circuit.clone(), None, None),
+    };
+    c = c.decompose_swaps();
+    cleanup_fixpoint(&mut c, 8);
+    GenericResult { circuit: c, initial_l2p: initial, final_l2p: final_ }
+}
+
+/// Path-based "token" router: each blocked two-qubit gate walks its
+/// control toward its target along a shortest path. Simpler and greedier
+/// than SABRE — the t|ket⟩-flavored alternative.
+fn route_token(circuit: &Circuit, device: &CouplingMap) -> sabre::Routed {
+    let n = circuit.num_qubits();
+    let initial = sabre::initial_placement(circuit, device);
+    let mut layout = Layout::from_l2p(device.num_qubits(), initial.clone());
+    let mut out = Circuit::new(device.num_qubits());
+    for g in circuit.gates() {
+        match g.qubits() {
+            (_, None) => out.push(g.map_qubits(|q| layout.phys(q))),
+            (a, b) => {
+                let b = b.expect("two-qubit gate");
+                while !device.has_edge(layout.phys(a), layout.phys(b)) {
+                    let path =
+                        device.shortest_path(layout.phys(a), layout.phys(b), |_, _| 1.0);
+                    out.push(Gate::Swap(path[0], path[1]));
+                    layout.swap_physical(path[0], path[1]);
+                }
+                out.push(g.map_qubits(|q| layout.phys(q)));
+            }
+        }
+    }
+    let _ = n;
+    sabre::Routed { circuit: out, initial_l2p: initial, final_l2p: layout.l2p().to_vec() }
+}
+
+/// The tket-O2-like pipeline: path-based routing (if needed), SWAP
+/// decomposition, one fusion pass, then commutative cancellation.
+pub fn tket_o2_like(circuit: &Circuit, mapping: Mapping<'_>) -> GenericResult {
+    let (mut c, initial, final_) = match mapping {
+        Mapping::Route(device) => {
+            let r = route_token(circuit, device);
+            (r.circuit, Some(r.initial_l2p), Some(r.final_l2p))
+        }
+        Mapping::None | Mapping::AlreadyMapped => (circuit.clone(), None, None),
+    };
+    c = c.decompose_swaps();
+    fusion::fuse_single_qubit_runs(&mut c);
+    peephole::optimize(&mut c);
+    GenericResult { circuit: c, initial_l2p: initial, final_l2p: final_ }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::devices;
+
+    #[test]
+    fn l3_cancels_redundant_gates() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 1));
+        let r = qiskit_l3_like(&c, Mapping::None);
+        assert!(r.circuit.is_empty());
+    }
+
+    #[test]
+    fn l3_routes_nonconformant_circuits() {
+        let device = devices::linear(4);
+        let mut c = Circuit::new(4);
+        for q in 1..4 {
+            c.push(Gate::Cx(0, q));
+        }
+        let r = qiskit_l3_like(&c, Mapping::Route(&device));
+        assert!(r.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert_eq!(r.circuit.stats().swap, 0, "swaps must be decomposed");
+        assert!(r.initial_l2p.is_some());
+    }
+
+    #[test]
+    fn o2_routes_and_cleans() {
+        let device = devices::linear(4);
+        let mut c = Circuit::new(4);
+        for q in 1..4 {
+            c.push(Gate::Cx(0, q));
+        }
+        c.push(Gate::H(2));
+        c.push(Gate::H(2));
+        let r = tket_o2_like(&c, Mapping::Route(&device));
+        assert!(r.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+    }
+
+    #[test]
+    fn already_mapped_skips_routing() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Swap(0, 1));
+        c.push(Gate::Cx(1, 2));
+        let r = qiskit_l3_like(&c, Mapping::AlreadyMapped);
+        assert!(r.initial_l2p.is_none());
+        assert_eq!(r.circuit.stats().swap, 0);
+    }
+
+    #[test]
+    fn pipelines_differ_on_the_same_input() {
+        // Not a strict requirement, but the two emulations should not be
+        // the same function: build a circuit where lookahead matters.
+        let device = devices::linear(5);
+        let mut c = Circuit::new(5);
+        c.push(Gate::Cx(0, 4));
+        c.push(Gate::Cx(1, 3));
+        c.push(Gate::Cx(0, 2));
+        let a = qiskit_l3_like(&c, Mapping::Route(&device));
+        let b = tket_o2_like(&c, Mapping::Route(&device));
+        assert!(a.circuit.respects_connectivity(|x, y| device.has_edge(x, y)));
+        assert!(b.circuit.respects_connectivity(|x, y| device.has_edge(x, y)));
+    }
+}

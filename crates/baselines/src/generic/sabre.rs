@@ -1,0 +1,279 @@
+//! SABRE-style qubit routing.
+//!
+//! The generic second-stage compilers must map logical circuits (e.g. the
+//! TK baseline's output) onto coupling-constrained devices. This is a
+//! compact SABRE (Li et al., ASPLOS 2019): a front layer of pending two-qubit gates, a
+//! lookahead window, and greedy SWAP selection by distance heuristic with
+//! a decay term that discourages ping-ponging the same qubit.
+
+use qcircuit::{Circuit, Gate};
+use qdevice::{CouplingMap, Layout};
+
+/// A routed circuit plus the layout bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Routed {
+    /// Physical circuit using only coupled pairs.
+    pub circuit: Circuit,
+    /// Initial physical position of each logical qubit.
+    pub initial_l2p: Vec<usize>,
+    /// Final physical position of each logical qubit.
+    pub final_l2p: Vec<usize>,
+}
+
+/// Greedy interaction-aware initial placement (shared by the routers).
+pub(crate) fn initial_placement(circuit: &Circuit, device: &CouplingMap) -> Vec<usize> {
+    let n = circuit.num_qubits();
+    let subgraph = device.most_connected_subgraph(n);
+    let mut weight = vec![vec![0u64; n]; n];
+    let mut total = vec![0u64; n];
+    for g in circuit.gates() {
+        if let (a, Some(b)) = g.qubits() {
+            weight[a][b] += 1;
+            weight[b][a] += 1;
+            total[a] += 1;
+            total[b] += 1;
+        }
+    }
+    let mut l2p = vec![usize::MAX; n];
+    let mut free = subgraph;
+    let mut placed: Vec<usize> = Vec::new();
+    let seed = (0..n).max_by_key(|&l| total[l]).unwrap_or(0);
+    l2p[seed] = free.remove(0);
+    placed.push(seed);
+    while placed.len() < n {
+        let next = (0..n)
+            .filter(|&l| l2p[l] == usize::MAX)
+            .max_by_key(|&l| (placed.iter().map(|&p| weight[l][p]).sum::<u64>(), total[l]))
+            .expect("unplaced logical exists");
+        let (fi, _) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &cand)| {
+                placed
+                    .iter()
+                    .map(|&p| weight[next][p] * u64::from(device.distance(cand, l2p[p])))
+                    .sum::<u64>()
+            })
+            .expect("free seat exists");
+        l2p[next] = free.remove(fi);
+        placed.push(next);
+    }
+    l2p
+}
+
+/// Routes a logical circuit onto `device` with SABRE-style SWAP insertion.
+///
+/// # Panics
+///
+/// Panics if the device has fewer qubits than the circuit or is
+/// disconnected.
+pub fn route(circuit: &Circuit, device: &CouplingMap) -> Routed {
+    let n = circuit.num_qubits();
+    assert!(n <= device.num_qubits(), "device too small");
+    assert!(device.is_connected(), "device must be connected");
+    let initial = initial_placement(circuit, device);
+    let mut layout = Layout::from_l2p(device.num_qubits(), initial.clone());
+    let mut out = Circuit::new(device.num_qubits());
+
+    // Wire-ordered pending gates: for each gate, the number of unexecuted
+    // predecessors on its wires.
+    let gates = circuit.gates();
+    let mut last_on_wire: Vec<Option<usize>> = vec![None; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    for (i, g) in gates.iter().enumerate() {
+        let (a, b) = g.qubits();
+        for q in [Some(a), b].into_iter().flatten() {
+            if let Some(p) = last_on_wire[q] {
+                preds[i].push(p);
+                succs[p].push(i);
+            }
+            last_on_wire[q] = Some(i);
+        }
+    }
+    let mut missing: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut front: Vec<usize> = (0..gates.len()).filter(|&i| missing[i] == 0).collect();
+    let mut done = vec![false; gates.len()];
+    let mut in_front = vec![false; gates.len()];
+    for &i in &front {
+        in_front[i] = true;
+    }
+    let mut decay: Vec<f64> = vec![1.0; device.num_qubits()];
+    let mut last_swap: Option<(usize, usize)> = None;
+    // Persistent pointer past the fully-executed prefix, so the lookahead
+    // window is O(window) per swap instead of O(circuit).
+    let mut scan_ptr = 0usize;
+
+    while !front.is_empty() {
+        // Execute everything executable.
+        let mut executed_any = false;
+        let mut next_front = Vec::new();
+        for &i in &front {
+            let g = gates[i];
+            let executable = match g.qubits() {
+                (_, None) => true,
+                (a, Some(b)) => device.has_edge(layout.phys(a), layout.phys(b)),
+            };
+            if executable {
+                out.push(g.map_qubits(|q| layout.phys(q)));
+                done[i] = true;
+                in_front[i] = false;
+                executed_any = true;
+                for &s in &succs[i] {
+                    missing[s] -= 1;
+                    if missing[s] == 0 {
+                        next_front.push(s);
+                        in_front[s] = true;
+                    }
+                }
+            } else {
+                next_front.push(i);
+            }
+        }
+        front = next_front;
+        if executed_any {
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            last_swap = None;
+            continue;
+        }
+        if front.is_empty() {
+            break;
+        }
+        // Blocked: pick the SWAP minimizing the heuristic.
+        let blocked: Vec<(usize, usize)> = front
+            .iter()
+            .filter_map(|&i| match gates[i].qubits() {
+                (a, Some(b)) => Some((a, b)),
+                _ => None,
+            })
+            .collect();
+        // Lookahead window: the next few two-qubit gates beyond the front.
+        while scan_ptr < gates.len() && done[scan_ptr] {
+            scan_ptr += 1;
+        }
+        let mut lookahead: Vec<(usize, usize)> = Vec::with_capacity(20);
+        let mut i = scan_ptr;
+        while i < gates.len() && lookahead.len() < 20 {
+            if !done[i] && !in_front[i] {
+                if let (a, Some(b)) = gates[i].qubits() {
+                    lookahead.push((a, b));
+                }
+            }
+            i += 1;
+        }
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in &blocked {
+            for &l in &[a, b] {
+                let p = layout.phys(l);
+                for &q in device.neighbors(p) {
+                    let e = (p.min(q), p.max(q));
+                    if !candidates.contains(&e) && Some(e) != last_swap {
+                        candidates.push(e);
+                    }
+                }
+            }
+        }
+        let score = |sw: (usize, usize)| -> f64 {
+            // Distance after the candidate swap, without cloning layouts.
+            let remap = |p: usize| {
+                if p == sw.0 {
+                    sw.1
+                } else if p == sw.1 {
+                    sw.0
+                } else {
+                    p
+                }
+            };
+            let front_cost: u32 = blocked
+                .iter()
+                .map(|&(a, b)| device.distance(remap(layout.phys(a)), remap(layout.phys(b))))
+                .sum();
+            let look_cost: u32 = lookahead
+                .iter()
+                .map(|&(a, b)| device.distance(remap(layout.phys(a)), remap(layout.phys(b))))
+                .sum();
+            decay[sw.0].max(decay[sw.1])
+                * (front_cost as f64 + 0.5 * look_cost as f64 / (lookahead.len().max(1) as f64))
+        };
+        let best = candidates
+            .iter()
+            .copied()
+            .min_by(|&x, &y| score(x).partial_cmp(&score(y)).expect("finite scores"))
+            .expect("blocked gates have swap candidates");
+        out.push(Gate::Swap(best.0, best.1));
+        layout.swap_physical(best.0, best.1);
+        decay[best.0] += 0.1;
+        decay[best.1] += 0.1;
+        last_swap = Some(best);
+    }
+    Routed { circuit: out, initial_l2p: initial, final_l2p: layout.l2p().to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::devices;
+
+    #[test]
+    fn already_conformant_circuits_gain_no_swaps() {
+        let device = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(1, 2));
+        let r = route(&c, &device);
+        assert_eq!(r.circuit.stats().swap, 0);
+        assert_eq!(r.circuit.stats().cnot, 2);
+    }
+
+    #[test]
+    fn distant_gate_forces_swaps() {
+        let device = devices::linear(5);
+        let mut c = Circuit::new(5);
+        // Interactions that cannot all be adjacent: a star around qubit 0.
+        for q in 1..5 {
+            c.push(Gate::Cx(0, q));
+        }
+        let r = route(&c, &device);
+        assert!(r.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(r.circuit.stats().swap >= 1);
+        assert_eq!(r.circuit.stats().cnot, 4);
+    }
+
+    #[test]
+    fn single_qubit_gates_pass_through() {
+        let device = devices::linear(2);
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Rz(1, 0.5));
+        let r = route(&c, &device);
+        assert_eq!(r.circuit.stats().single, 2);
+    }
+
+    #[test]
+    fn routed_gate_order_respects_wire_dependencies() {
+        let device = devices::linear(4);
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cx(0, 3)); // needs routing
+        c.push(Gate::H(3)); // must come after
+        let r = route(&c, &device);
+        let pos_cx = r.circuit.gates().iter().position(|g| matches!(g, Gate::Cx(..))).unwrap();
+        let pos_h = r.circuit.gates().iter().position(|g| matches!(g, Gate::H(_))).unwrap();
+        assert!(pos_cx < pos_h);
+    }
+
+    #[test]
+    fn layouts_are_tracked() {
+        let device = devices::linear(4);
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(2, 3));
+        c.push(Gate::Cx(0, 3));
+        c.push(Gate::Cx(1, 2));
+        let r = route(&c, &device);
+        let mut seen = vec![false; 4];
+        for &p in &r.final_l2p {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+}

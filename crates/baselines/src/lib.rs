@@ -1,0 +1,24 @@
+//! Baseline compilers the Paulihedral paper evaluates against.
+//!
+//! * [`naive`] — term-by-term gadget synthesis with no optimization; the
+//!   "naively converting these benchmarks into gates" column of Table 1 and
+//!   the reference point of the BC study (Table 4, right).
+//! * [`tk`] — the simultaneous-diagonalization strategy of t|ket⟩
+//!   (Cowtan et al. / van den Berg–Temme): mutually commuting clusters are
+//!   Clifford-diagonalized, their rotations become Z-ladders, and the
+//!   Clifford is undone ("TK" in Table 2).
+//! * [`qaoa_compiler`] — the algorithm-specific QAOA mapper of Alam et al.:
+//!   rounds of executable-gadget emission plus greedy SWAP selection
+//!   (Table 3).
+//! * [`generic`] — emulations of the generic second-stage compilers
+//!   (`Qiskit_L3`, `tket_O2`): single-qubit fusion, commutative
+//!   cancellation, SWAP decomposition, and routing (SABRE-style or
+//!   path-based) for circuits that are not yet hardware-conformant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generic;
+pub mod naive;
+pub mod qaoa_compiler;
+pub mod tk;

@@ -1,0 +1,136 @@
+//! Naive term-by-term synthesis.
+//!
+//! Every Pauli string becomes its own gadget with an ascending-index CNOT
+//! chain, in program order, with no cancellation or mapping awareness.
+//! Table 1's "CNOT #/Single #" columns are exactly these counts.
+
+use pauli::PauliString;
+use paulihedral::ir::PauliIR;
+use paulihedral::synth::chain::emit_gadget;
+use qcircuit::Circuit;
+
+/// Result of naive synthesis.
+#[derive(Clone, Debug)]
+pub struct NaiveResult {
+    /// The unoptimized logical circuit.
+    pub circuit: Circuit,
+    /// Emission order (program order, identity strings skipped).
+    pub emitted: Vec<(PauliString, f64)>,
+}
+
+/// Synthesizes the program in order with naive ascending chains.
+pub fn synthesize(ir: &PauliIR) -> NaiveResult {
+    let mut circuit = Circuit::new(ir.num_qubits());
+    let mut emitted = Vec::new();
+    for block in ir.blocks() {
+        for (i, term) in block.terms.iter().enumerate() {
+            if term.string.is_identity() {
+                continue;
+            }
+            let theta = block.theta(i);
+            let order = term.string.support();
+            emit_gadget(&mut circuit, &term.string, theta, &order);
+            emitted.push((term.string.clone(), theta));
+        }
+    }
+    NaiveResult { circuit, emitted }
+}
+
+/// The closed-form naive gate counts of a program: `(cnot, single)`.
+///
+/// A string with `k` non-identity operators costs `2(k−1)` CNOTs and
+/// `1 + 2·(#X + #Y)` single-qubit gates (one `Rz` plus paired basis
+/// changes) — the formula behind Table 1.
+pub fn naive_counts(ir: &PauliIR) -> (usize, usize) {
+    let mut cnot = 0;
+    let mut single = 0;
+    for block in ir.blocks() {
+        for term in &block.terms {
+            let k = term.string.weight();
+            if k == 0 {
+                continue;
+            }
+            cnot += 2 * (k - 1);
+            let basis: usize = term
+                .string
+                .support()
+                .iter()
+                .filter(|&&q| {
+                    matches!(term.string.get(q), pauli::Pauli::X | pauli::Pauli::Y)
+                })
+                .count();
+            single += 1 + 2 * basis;
+        }
+    }
+    (cnot, single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paulihedral::ir::{Parameter, PauliBlock};
+    use pauli::PauliTerm;
+
+    fn ir_of(strings: &[&str]) -> PauliIR {
+        let n = strings[0].len();
+        let mut ir = PauliIR::new(n);
+        for s in strings {
+            ir.push_block(PauliBlock::new(
+                vec![PauliTerm::new(s.parse().unwrap(), 1.0)],
+                Parameter::time(0.5),
+            ));
+        }
+        ir
+    }
+
+    #[test]
+    fn counts_match_emitted_circuit() {
+        let ir = ir_of(&["ZZY", "XIZ", "IIZ"]);
+        let r = synthesize(&ir);
+        let (cnot, single) = naive_counts(&ir);
+        let s = r.circuit.stats();
+        assert_eq!(s.cnot, cnot);
+        assert_eq!(s.single, single);
+    }
+
+    #[test]
+    fn qaoa_edge_costs_two_cnots_one_rz() {
+        // The Table 1 QAOA pattern: each ZZ string is 2 CNOTs + 1 single.
+        let ir = ir_of(&["IZZ", "ZZI", "ZIZ"]);
+        let (cnot, single) = naive_counts(&ir);
+        assert_eq!(cnot, 6);
+        assert_eq!(single, 3);
+    }
+
+    #[test]
+    fn heisenberg_pattern_costs() {
+        // XX: 2 CNOT + 1 Rz + 4 H = 5 singles; YY likewise; ZZ: 1 single.
+        let ir = ir_of(&["XX", "YY", "ZZ"]);
+        let (cnot, single) = naive_counts(&ir);
+        assert_eq!(cnot, 6);
+        assert_eq!(single, 11);
+    }
+
+    #[test]
+    fn emission_keeps_program_order() {
+        let ir = ir_of(&["ZZI", "XXI"]);
+        let r = synthesize(&ir);
+        assert_eq!(r.emitted[0].0.to_string(), "ZZI");
+        assert_eq!(r.emitted[1].0.to_string(), "XXI");
+        assert_eq!(r.emitted[0].1, 0.5);
+    }
+
+    #[test]
+    fn identity_strings_are_skipped() {
+        let mut ir = PauliIR::new(2);
+        ir.push_block(PauliBlock::new(
+            vec![
+                PauliTerm::new(PauliString::identity(2), 3.0),
+                PauliTerm::new("ZZ".parse().unwrap(), 1.0),
+            ],
+            Parameter::time(1.0),
+        ));
+        let r = synthesize(&ir);
+        assert_eq!(r.emitted.len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Baseline compilers must also be semantics-preserving: their circuits
+//! must equal `Π exp(iθP)` in their own emission order. This pins the sign
+//! tracking of the TK diagonalization (tableau phases flip rotation
+//! angles) and the routing bookkeeping of the QAOA compiler.
+
+use baselines::generic::{self, Mapping};
+use baselines::{naive, qaoa_compiler, tk};
+use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
+use pauli::{Pauli, PauliString, PauliTerm};
+use qdevice::devices;
+use qsim::trotter::exp_product;
+use qsim::unitary::{circuit_unitary, equal_up_to_phase, routed_circuit_implements};
+
+fn random_program(seed: u64, n: usize, k: usize) -> PauliIR {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut ir = PauliIR::new(n);
+    for _ in 0..k {
+        let mut s = PauliString::identity(n);
+        let mut any = false;
+        for q in 0..n {
+            match next() % 4 {
+                0 => {}
+                1 => {
+                    s.set(q, Pauli::X);
+                    any = true;
+                }
+                2 => {
+                    s.set(q, Pauli::Y);
+                    any = true;
+                }
+                _ => {
+                    s.set(q, Pauli::Z);
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            s.set((next() as usize) % n, Pauli::X);
+        }
+        let w = ((next() % 160) as f64 - 80.0) / 100.0;
+        ir.push_block(PauliBlock::new(
+            vec![PauliTerm::new(s, if w == 0.0 { 0.3 } else { w })],
+            Parameter::time(0.4),
+        ));
+    }
+    ir
+}
+
+#[test]
+fn naive_synthesis_matches_exponential_product() {
+    for seed in 0..8 {
+        let ir = random_program(seed, 4, 5);
+        let r = naive::synthesize(&ir);
+        let expected = exp_product(4, r.emitted.iter().map(|(s, t)| (s, *t)));
+        assert!(
+            equal_up_to_phase(&circuit_unitary(&r.circuit), &expected, 1e-8),
+            "seed {seed}: naive synthesis deviates"
+        );
+    }
+}
+
+#[test]
+fn tk_diagonalization_matches_exponential_product() {
+    for seed in 50..62 {
+        let ir = random_program(seed, 4, 6);
+        let r = tk::compile_tk(&ir);
+        assert_eq!(r.emitted.len(), 6);
+        let expected = exp_product(4, r.emitted.iter().map(|(s, t)| (s, *t)));
+        assert!(
+            equal_up_to_phase(&circuit_unitary(&r.circuit), &expected, 1e-8),
+            "seed {seed}: TK output deviates (sign tracking?)"
+        );
+    }
+}
+
+#[test]
+fn tk_followed_by_generic_cleanup_stays_correct() {
+    for seed in 80..86 {
+        let ir = random_program(seed, 4, 5);
+        let r = tk::compile_tk(&ir);
+        let expected = exp_product(4, r.emitted.iter().map(|(s, t)| (s, *t)));
+        for result in [
+            generic::qiskit_l3_like(&r.circuit, Mapping::None),
+            generic::tket_o2_like(&r.circuit, Mapping::None),
+        ] {
+            assert!(
+                equal_up_to_phase(&circuit_unitary(&result.circuit), &expected, 1e-8),
+                "seed {seed}: generic cleanup broke the TK circuit"
+            );
+        }
+    }
+}
+
+#[test]
+fn routed_tk_circuit_implements_logical_operator() {
+    let device = devices::linear(5);
+    for seed in 120..126 {
+        let ir = random_program(seed, 4, 4);
+        let r = tk::compile_tk(&ir);
+        let expected = exp_product(4, r.emitted.iter().map(|(s, t)| (s, *t)));
+        let routed = generic::qiskit_l3_like(&r.circuit, Mapping::Route(&device));
+        assert!(
+            routed_circuit_implements(
+                &routed.circuit,
+                &expected,
+                routed.initial_l2p.as_ref().unwrap(),
+                routed.final_l2p.as_ref().unwrap(),
+                1e-8,
+            ),
+            "seed {seed}: routed TK circuit deviates"
+        );
+    }
+}
+
+#[test]
+fn qaoa_compiler_implements_cost_kernel() {
+    let device = devices::grid(2, 3);
+    // A 5-node ring with distinct weights.
+    let n = 5;
+    let mut terms = Vec::new();
+    for i in 0..n {
+        let mut s = PauliString::identity(n);
+        s.set(i, Pauli::Z);
+        s.set((i + 1) % n, Pauli::Z);
+        terms.push(PauliTerm::new(s, 0.2 + 0.1 * i as f64));
+    }
+    let ir = PauliIR::single_block(n, terms, Parameter::named("gamma", 0.7));
+    let r = qaoa_compiler::compile_qaoa(&ir, &device);
+    let expected = exp_product(n, r.emitted.iter().map(|(s, t)| (s, *t)));
+    assert!(routed_circuit_implements(
+        &r.circuit,
+        &expected,
+        &r.initial_l2p,
+        &r.final_l2p,
+        1e-8,
+    ));
+}

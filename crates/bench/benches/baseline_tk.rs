@@ -1,0 +1,21 @@
+//! Criterion bench: the TK baseline's clustering + simultaneous
+//! diagonalization cost (its O(N²) stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use baselines::tk;
+use workloads::suite;
+
+fn bench_tk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_tk");
+    group.sample_size(10);
+    for name in ["Ising-1D", "Heisen-2D", "UCCSD-8", "UCCSD-12"] {
+        let b = suite::generate(name);
+        group.bench_with_input(BenchmarkId::new("compile", name), &b.ir, |bench, ir| {
+            bench.iter(|| tk::compile_tk(ir));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tk);
+criterion_main!(benches);

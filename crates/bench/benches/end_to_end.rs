@@ -1,0 +1,27 @@
+//! Criterion bench: full two-stage compilation flows (stage-1 PH or TK
+//! plus the generic second stage), matching the Table 2 time columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paulihedral::Scheduler;
+use ph_bench::{ph_flow, tk_flow, SecondStage};
+use qdevice::devices;
+use workloads::suite;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let device = devices::manhattan_65();
+    for name in ["UCCSD-8", "REG-20-4", "Heisen-2D"] {
+        let b = suite::generate(name);
+        group.bench_with_input(BenchmarkId::new("ph_l3", name), &b, |bench, b| {
+            bench.iter(|| ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3));
+        });
+        group.bench_with_input(BenchmarkId::new("tk_l3", name), &b, |bench, b| {
+            bench.iter(|| tk_flow(&b.ir, b.class, &device, SecondStage::QiskitL3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: wire-DAG peephole cancellation throughput on naive
+//! gadget circuits of increasing size.
+
+use baselines::naive;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcircuit::peephole;
+use workloads::suite;
+
+fn bench_peephole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peephole");
+    group.sample_size(10);
+    for name in ["Heisen-1D", "UCCSD-8", "UCCSD-12"] {
+        let b = suite::generate(name);
+        let circuit = naive::synthesize(&b.ir).circuit;
+        group.bench_with_input(BenchmarkId::new("optimize", name), &circuit, |bench, circ| {
+            bench.iter(|| {
+                let mut c = circ.clone();
+                peephole::optimize(&mut c)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_peephole);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: throughput of the two scheduling passes (paper §4) —
+//! the passes the paper claims are "highly scalable".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paulihedral::schedule::{schedule_depth, schedule_gco};
+use workloads::suite;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    for name in ["UCCSD-8", "UCCSD-16", "Heisen-2D", "Rand-30"] {
+        let b = suite::generate(name);
+        group.bench_with_input(BenchmarkId::new("gco", name), &b.ir, |bench, ir| {
+            bench.iter(|| schedule_gco(ir));
+        });
+        group.bench_with_input(BenchmarkId::new("depth", name), &b.ir, |bench, ir| {
+            bench.iter(|| schedule_depth(ir));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates **Table 1**: benchmark information — backend class, qubit
+//! count, Pauli string count, and the CNOT/single-qubit gate counts of a
+//! naive (unoptimized, unmapped) conversion to gates.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin table1
+//! ```
+
+use baselines::naive;
+use ph_bench::print_row;
+use workloads::suite::{self, BackendClass};
+
+fn main() {
+    let widths = [12usize, 8, 7, 9, 9, 9];
+    println!("Table 1: Benchmark information");
+    print_row(
+        &widths,
+        &["Name", "Backend", "Qubit#", "Pauli#", "CNOT#", "Single#"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    for name in suite::all_names() {
+        let b = suite::generate(name);
+        let (cnot, single) = naive::naive_counts(&b.ir);
+        let class = match b.class {
+            BackendClass::Superconducting => "SC",
+            BackendClass::FaultTolerant => "FT",
+        };
+        print_row(
+            &widths,
+            &[
+                b.name.clone(),
+                class.to_string(),
+                b.ir.num_qubits().to_string(),
+                b.ir.total_strings().to_string(),
+                cnot.to_string(),
+                single.to_string(),
+            ],
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Regenerates **Table 2**: Paulihedral vs the TK (simultaneous
+//! diagonalization) baseline, each followed by the two generic second
+//! stages, on all 31 benchmarks. SC benchmarks are mapped onto the
+//! 65-qubit Manhattan model; FT benchmarks stay logical.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin table2 [-- --quick] [--filter NAME]
+//! ```
+//!
+//! `--quick` runs a representative subset (the full suite takes a while —
+//! the paper used a 28-core Xeon server).
+
+use paulihedral::Scheduler;
+use ph_bench::{arg_flag, arg_value, fmt_secs, ph_flow, print_row, quick_subset, tk_flow, SecondStage};
+use qdevice::devices;
+use workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = arg_flag(&args, "--quick");
+    let filter = arg_value(&args, "--filter");
+    let device = devices::manhattan_65();
+
+    let names: Vec<&str> = match &filter {
+        Some(f) => suite::all_names().into_iter().filter(|n| n.contains(f.as_str())).collect(),
+        None if quick => quick_subset(),
+        None => suite::all_names(),
+    };
+
+    println!("Table 2: compilation time and results, PH vs TK x {{Qiskit_L3, tket_O2}}");
+    println!("(PH scheduling: depth-oriented on SC; pattern-adaptive on FT. SC = Manhattan-65 model)");
+    let widths = [12usize, 14, 8, 8, 9, 9, 9, 8];
+    print_row(
+        &widths,
+        &["Bench", "Config", "T1(s)", "T2(s)", "CNOT", "Single", "Total", "Depth"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+
+    for name in names {
+        let b = suite::generate(name);
+        let scheduler = match b.class {
+            suite::BackendClass::Superconducting => Scheduler::Depth,
+            suite::BackendClass::FaultTolerant => paulihedral::choose_scheduler(&b.ir),
+        };
+        for second in [SecondStage::QiskitL3, SecondStage::TketO2] {
+            let ph = ph_flow(&b.ir, b.class, scheduler, &device, second);
+            print_row(
+                &widths,
+                &[
+                    b.name.clone(),
+                    format!("PH+{}", second.label()),
+                    fmt_secs(ph.stage1),
+                    fmt_secs(ph.stage2),
+                    ph.stats.cnot.to_string(),
+                    ph.stats.single.to_string(),
+                    ph.stats.total.to_string(),
+                    ph.stats.depth.to_string(),
+                ],
+            );
+        }
+        for second in [SecondStage::QiskitL3, SecondStage::TketO2] {
+            let tkr = tk_flow(&b.ir, b.class, &device, second);
+            print_row(
+                &widths,
+                &[
+                    b.name.clone(),
+                    format!("TK+{}", second.label()),
+                    fmt_secs(tkr.stage1),
+                    fmt_secs(tkr.stage2),
+                    tkr.stats.cnot.to_string(),
+                    tkr.stats.single.to_string(),
+                    tkr.stats.total.to_string(),
+                    tkr.stats.depth.to_string(),
+                ],
+            );
+        }
+    }
+}

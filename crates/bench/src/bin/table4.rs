@@ -1,0 +1,82 @@
+//! Regenerates **Table 4**: the effect of the individual passes.
+//!
+//! * Left half — **DO vs GCO**: percentage change of the depth-oriented
+//!   scheduler relative to the gate-count-oriented one (same backend flow
+//!   otherwise). `N/A` for the single-block QAOA kernels, as in the paper.
+//! * Right half — **BC improvement**: percentage change of block-wise
+//!   compilation relative to naive chain synthesis under the *same*
+//!   schedule (isolating the synthesis pass), both followed by the
+//!   Qiskit-L3-like stage.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin table4 [-- --quick] [--filter NAME]
+//! ```
+
+use paulihedral::Scheduler;
+use ph_bench::{arg_flag, arg_value, pct_change, ph_flow, print_row, quick_subset, scheduled_naive_flow, SecondStage};
+use qdevice::devices;
+use workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = arg_flag(&args, "--quick");
+    let filter = arg_value(&args, "--filter");
+    let device = devices::manhattan_65();
+    let names: Vec<&str> = match &filter {
+        Some(f) => suite::all_names().into_iter().filter(|n| n.contains(f.as_str())).collect(),
+        None if quick => quick_subset(),
+        None => suite::all_names(),
+    };
+
+    println!("Table 4: effect of passes (negative = reduction)");
+    let widths = [12usize, 10, 10, 10, 10, 2, 10, 10, 10, 10];
+    print_row(
+        &widths,
+        &[
+            "Bench", "DO:CNOT%", "DO:Sing%", "DO:Tot%", "DO:Dep%", "|", "BC:CNOT%", "BC:Sing%",
+            "BC:Tot%", "BC:Dep%",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+    );
+    let fmt = |v: f64| format!("{v:+.2}");
+    for name in names {
+        let b = suite::generate(name);
+        // DO vs GCO.
+        let single_block = b.ir.num_blocks() == 1;
+        let (do_cells, gco) = {
+            let gco = ph_flow(&b.ir, b.class, Scheduler::GateCount, &device, SecondStage::QiskitL3);
+            if single_block {
+                (vec!["N/A".to_string(); 4], gco)
+            } else {
+                let do_ = ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+                (
+                    vec![
+                        fmt(pct_change(gco.stats.cnot, do_.stats.cnot)),
+                        fmt(pct_change(gco.stats.single, do_.stats.single)),
+                        fmt(pct_change(gco.stats.total, do_.stats.total)),
+                        fmt(pct_change(gco.stats.depth, do_.stats.depth)),
+                    ],
+                    gco,
+                )
+            }
+        };
+        let _ = gco;
+        // BC vs scheduled-naive synthesis (both depth-scheduled).
+        let bc = ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+        let naive =
+            scheduled_naive_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+        let bc_cells = vec![
+            fmt(pct_change(naive.stats.cnot, bc.stats.cnot)),
+            fmt(pct_change(naive.stats.single, bc.stats.single)),
+            fmt(pct_change(naive.stats.total, bc.stats.total)),
+            fmt(pct_change(naive.stats.depth, bc.stats.depth)),
+        ];
+        let mut cells = vec![b.name.clone()];
+        cells.extend(do_cells);
+        cells.push("|".to_string());
+        cells.extend(bc_cells);
+        print_row(&widths, &cells);
+    }
+}

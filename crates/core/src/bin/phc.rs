@@ -1,0 +1,124 @@
+//! `phc` — the Paulihedral command-line compiler.
+//!
+//! Reads a Pauli IR program in the Fig. 5 surface syntax, compiles it with
+//! the selected scheduler and backend, prints the cost metrics, and
+//! optionally writes OpenQASM 2.0.
+//!
+//! ```text
+//! phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC]
+//!                 [--scheduler auto|gco|do] [--qasm OUT.qasm] [--stats-only]
+//! ```
+//!
+//! Example input file:
+//!
+//! ```text
+//! {(IIXY, 0.5), (IIYX, -0.5), theta1};
+//! {(ZZII, 0.134), 0.5};
+//! ```
+
+use std::process::ExitCode;
+
+use paulihedral::parse::parse_program;
+use paulihedral::{choose_scheduler, compile, Backend, CompileOptions, Scheduler};
+use qcircuit::qasm::{to_qasm, QasmOptions};
+use qdevice::{devices, CouplingMap};
+
+fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_device(spec: &str, n_program: usize) -> Result<Option<CouplingMap>, String> {
+    match spec {
+        "ft" => Ok(None),
+        "manhattan" => Ok(Some(devices::manhattan_65())),
+        "melbourne" => Ok(Some(devices::melbourne_16())),
+        other => {
+            if let Some(n) = other.strip_prefix("linear:") {
+                let n: usize = n.parse().map_err(|_| format!("bad linear size `{n}`"))?;
+                return Ok(Some(devices::linear(n.max(n_program))));
+            }
+            if let Some(dims) = other.strip_prefix("grid:") {
+                let (r, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad grid spec `{dims}`, expected RxC"))?;
+                let r: usize = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
+                let c: usize = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
+                return Ok(Some(devices::grid(r, c)));
+            }
+            Err(format!("unknown backend `{other}` (ft|manhattan|melbourne|linear:N|grid:RxC)"))
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with("--") && value_of(&args, "--backend").as_deref() != Some(a.as_str()))
+        .cloned()
+        .filter(|a| {
+            // Exclude values of other flags.
+            for flag in ["--scheduler", "--qasm", "--backend"] {
+                if value_of(&args, flag).as_deref() == Some(a.as_str()) {
+                    return false;
+                }
+            }
+            true
+        })
+        .ok_or("usage: phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC] [--scheduler auto|gco|do] [--qasm OUT.qasm]")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let ir = parse_program(&text).map_err(|e| format!("{input}: {e}"))?;
+    eprintln!(
+        "parsed {}: {} blocks, {} strings, {} qubits",
+        input,
+        ir.num_blocks(),
+        ir.total_strings(),
+        ir.num_qubits()
+    );
+
+    let scheduler = match value_of(&args, "--scheduler").as_deref() {
+        None | Some("auto") => choose_scheduler(&ir),
+        Some("gco") => Scheduler::GateCount,
+        Some("do") => Scheduler::Depth,
+        Some(other) => return Err(format!("unknown scheduler `{other}` (auto|gco|do)")),
+    };
+    let device = parse_device(
+        value_of(&args, "--backend").as_deref().unwrap_or("ft"),
+        ir.num_qubits(),
+    )?;
+
+    let backend = match &device {
+        None => Backend::FaultTolerant,
+        Some(map) => Backend::Superconducting { device: map, noise: None },
+    };
+    let out = compile(&ir, &CompileOptions { scheduler, backend });
+    let stats = out.circuit.mapped_stats();
+    println!(
+        "scheduler={scheduler:?} backend={} : CNOT {}, single {}, total {}, depth {}",
+        value_of(&args, "--backend").unwrap_or_else(|| "ft".into()),
+        stats.cnot,
+        stats.single,
+        stats.total,
+        stats.depth
+    );
+    if let (Some(init), Some(fin)) = (&out.initial_l2p, &out.final_l2p) {
+        println!("initial layout: {init:?}");
+        println!("final   layout: {fin:?}");
+    }
+    if let Some(path) = value_of(&args, "--qasm") {
+        let qasm = to_qasm(&out.circuit.decompose_swaps(), QasmOptions::default());
+        std::fs::write(&path, qasm).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("phc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

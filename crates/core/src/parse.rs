@@ -1,0 +1,272 @@
+//! Textual Pauli IR: parser and printer for the Fig. 5 grammar.
+//!
+//! ```text
+//! {(IIXY, 0.5), (IIYX, -0.5), theta1};
+//! {(XYII, -0.5), (YXII, 0.5), theta2};
+//! ```
+//!
+//! Each `{…}` is a `pauli_block`: a list of `(pauli_str, weight)` pairs
+//! followed by the block parameter, which is either a numeric literal or an
+//! identifier (whose value is looked up in an optional binding table,
+//! defaulting to `1.0`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pauli::{PauliString, PauliTerm};
+
+use crate::ir::{Parameter, PauliBlock, PauliIR};
+
+/// Error produced when parsing a textual Pauli IR program fails.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else if c == '#' {
+                // comment to end of line
+                while let Some(c) = self.peek() {
+                    self.pos += c.len_utf8();
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, expected: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += c.len_utf8();
+                Ok(())
+            }
+            got => Err(self.error(format!("expected `{expected}`, found {got:?}"))),
+        }
+    }
+
+    fn try_eat(&mut self, expected: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(expected) {
+            self.pos += expected.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { offset: self.pos, message }
+    }
+
+    fn token(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '+' || c == 'e' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a token".into()));
+        }
+        Ok(&self.text[start..self.pos])
+    }
+}
+
+/// Parses a textual program; identifier parameters resolve through
+/// `bindings` (missing names default to `1.0`).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or inconsistent qubit counts.
+pub fn parse_program_with(
+    text: &str,
+    bindings: &HashMap<String, f64>,
+) -> Result<PauliIR, ParseError> {
+    let mut cur = Cursor { text, pos: 0 };
+    let mut blocks: Vec<PauliBlock> = Vec::new();
+    let mut n: Option<usize> = None;
+    loop {
+        cur.skip_ws();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.eat('{')?;
+        let mut terms: Vec<PauliTerm> = Vec::new();
+        let parameter = loop {
+            cur.skip_ws();
+            if cur.try_eat('(') {
+                let ps_tok = cur.token()?;
+                let string: PauliString = ps_tok
+                    .parse()
+                    .map_err(|e| cur.error(format!("bad pauli string `{ps_tok}`: {e}")))?;
+                if let Some(n) = n {
+                    if string.num_qubits() != n {
+                        return Err(cur.error(format!(
+                            "pauli string `{ps_tok}` has {} qubits, expected {n}",
+                            string.num_qubits()
+                        )));
+                    }
+                } else {
+                    n = Some(string.num_qubits());
+                }
+                cur.eat(',')?;
+                let w_tok = cur.token()?;
+                let weight: f64 = w_tok
+                    .parse()
+                    .map_err(|_| cur.error(format!("bad weight `{w_tok}`")))?;
+                cur.eat(')')?;
+                cur.eat(',')?;
+                terms.push(PauliTerm::new(string, weight));
+            } else {
+                // The block parameter: number or identifier.
+                let tok = cur.token()?;
+                let parameter = match tok.parse::<f64>() {
+                    Ok(v) => Parameter::time(v),
+                    Err(_) => Parameter::named(tok, *bindings.get(tok).unwrap_or(&1.0)),
+                };
+                cur.eat('}')?;
+                break parameter;
+            }
+        };
+        if terms.is_empty() {
+            return Err(cur.error("block has no pauli strings".into()));
+        }
+        blocks.push(PauliBlock::new(terms, parameter));
+        // `;` after each block, optional after the last.
+        if !cur.try_eat(';') {
+            cur.skip_ws();
+            if cur.peek().is_some() {
+                return Err(cur.error("expected `;` between blocks".into()));
+            }
+        }
+    }
+    let n = n.ok_or(ParseError { offset: 0, message: "empty program".into() })?;
+    let mut ir = PauliIR::new(n);
+    for b in blocks {
+        ir.push_block(b);
+    }
+    Ok(ir)
+}
+
+/// Parses a textual program with all named parameters bound to `1.0`.
+///
+/// # Errors
+///
+/// See [`parse_program_with`].
+pub fn parse_program(text: &str) -> Result<PauliIR, ParseError> {
+    parse_program_with(text, &HashMap::new())
+}
+
+/// Renders a program in the Fig. 5/6 surface syntax (round-trips through
+/// [`parse_program`] up to parameter values).
+pub fn print_program(ir: &PauliIR) -> String {
+    let mut out = String::new();
+    for b in ir.blocks() {
+        out.push('{');
+        for t in &b.terms {
+            out.push_str(&format!("({}, {}), ", t.string, t.weight));
+        }
+        match &b.parameter.name {
+            Some(name) => out.push_str(name),
+            None => out.push_str(&format!("{}", b.parameter.value)),
+        }
+        out.push_str("};\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_uccsd_style_blocks() {
+        let text = "
+            {(IIXY, 0.5), (IIYX, -0.5), theta1};
+            {(XYII, -0.5), (YXII, 0.5), theta2};
+        ";
+        let ir = parse_program(text).unwrap();
+        assert_eq!(ir.num_qubits(), 4);
+        assert_eq!(ir.num_blocks(), 2);
+        assert_eq!(ir.blocks()[0].terms.len(), 2);
+        assert_eq!(ir.blocks()[0].parameter.name.as_deref(), Some("theta1"));
+        assert_eq!(ir.blocks()[0].terms[1].weight, -0.5);
+    }
+
+    #[test]
+    fn parses_numeric_parameters_and_comments() {
+        let text = "# H2 fragment\n{(IIIZ, 0.214), 0.5};\n{(IIZI, -0.37), 0.5}";
+        let ir = parse_program(text).unwrap();
+        assert_eq!(ir.num_blocks(), 2);
+        assert_eq!(ir.blocks()[0].parameter.value, 0.5);
+        assert!(ir.blocks()[0].parameter.name.is_none());
+    }
+
+    #[test]
+    fn bindings_resolve_named_parameters() {
+        let mut bindings = HashMap::new();
+        bindings.insert("gamma".to_string(), 0.25);
+        let ir = parse_program_with("{(ZZ, 1.0), gamma};", &bindings).unwrap();
+        assert_eq!(ir.blocks()[0].parameter.value, 0.25);
+        let unbound = parse_program("{(ZZ, 1.0), gamma};").unwrap();
+        assert_eq!(unbound.blocks()[0].parameter.value, 1.0);
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let text = "{(IIXY, 0.5), (IIYX, -0.5), theta1};\n{(ZZII, 0.134), 1};\n";
+        let ir = parse_program(text).unwrap();
+        let printed = print_program(&ir);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(ir.num_blocks(), reparsed.num_blocks());
+        for (a, b) in ir.blocks().iter().zip(reparsed.blocks()) {
+            assert_eq!(a.terms, b.terms);
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_widths() {
+        let err = parse_program("{(ZZ, 1.0), 1}; {(ZZZ, 1.0), 1};").unwrap_err();
+        assert!(err.message.contains("expected 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("{(QQ, 1.0), 1};").is_err());
+        assert!(parse_program("{(ZZ 1.0), 1};").is_err());
+        assert!(parse_program("").is_err());
+        assert!(parse_program("{1};").is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Technology-dependent block-wise optimization passes (paper §5).
+//!
+//! * [`chain`] — Pauli-gadget emission with adaptive CNOT-chain ordering
+//!   (the shared synthesis machinery),
+//! * [`ft`] — the fault-tolerant backend pass (Alg. 2): maximize gate
+//!   cancellation, mapping is free,
+//! * [`sc`] — the superconducting backend pass (Alg. 3): tree embedding in
+//!   the coupling map, SWAP-aware synthesis, layout tracking.
+
+pub mod chain;
+pub mod ft;
+pub mod sc;

@@ -1,0 +1,84 @@
+//! Trotter expansion of `exp(iHt)` into Pauli IR programs (paper §2.2,
+//! Fig. 3(a)).
+//!
+//! `exp(iHt) ≈ [Π_j exp(i·w_j·P_j·Δt)]^{t/Δt}`: the kernel for one step is
+//! repeated `r = t/Δt` times. Because every repetition is the same program,
+//! the compiler schedules one step and replays it — and the junction
+//! between consecutive steps is itself a cancellation opportunity the
+//! chain-aligned synthesis exploits.
+
+use pauli::PauliTerm;
+
+use crate::ir::{Parameter, PauliBlock, PauliIR};
+
+/// Expands a Hamiltonian `H = Σ w_j P_j` into the first-order Trotter
+/// program for `exp(iHt)` with `steps` repetitions (`Δt = t / steps`).
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `terms` is empty.
+pub fn trotterize(n: usize, terms: &[PauliTerm], t: f64, steps: usize) -> PauliIR {
+    assert!(steps > 0, "need at least one Trotter step");
+    assert!(!terms.is_empty(), "empty Hamiltonian");
+    let dt = t / steps as f64;
+    let mut ir = PauliIR::new(n);
+    for _ in 0..steps {
+        for term in terms {
+            ir.push_block(PauliBlock::new(vec![term.clone()], Parameter::time(dt)));
+        }
+    }
+    ir
+}
+
+/// The number of Trotter steps needed for a target additive error `eps`
+/// under the standard first-order bound
+/// `‖exp(iHt) − [Π exp(iP_j w_j Δt)]^r‖ ≤ (Σ|w_j|)²·t²/(2r)`.
+///
+/// # Panics
+///
+/// Panics if `eps` is not positive.
+pub fn steps_for_error(terms: &[PauliTerm], t: f64, eps: f64) -> usize {
+    assert!(eps > 0.0, "error budget must be positive");
+    let lambda: f64 = terms.iter().map(|term| term.weight.abs()).sum();
+    (((lambda * t).powi(2) / (2.0 * eps)).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms() -> Vec<PauliTerm> {
+        vec![
+            PauliTerm::new("ZZ".parse().unwrap(), 0.5),
+            PauliTerm::new("XI".parse().unwrap(), 0.25),
+        ]
+    }
+
+    #[test]
+    fn trotterize_repeats_the_step_kernel() {
+        let ir = trotterize(2, &terms(), 1.0, 4);
+        assert_eq!(ir.num_blocks(), 8);
+        assert_eq!(ir.blocks()[0].parameter.value, 0.25);
+        // Step boundaries repeat the same strings.
+        assert_eq!(
+            ir.blocks()[0].terms[0].string,
+            ir.blocks()[2].terms[0].string
+        );
+    }
+
+    #[test]
+    fn steps_grow_quadratically_with_time() {
+        let s1 = steps_for_error(&terms(), 1.0, 1e-2);
+        let s2 = steps_for_error(&terms(), 2.0, 1e-2);
+        // Quadratic in t up to ceiling slack.
+        assert!(s2 + 4 >= 4 * s1, "{s1} vs {s2}");
+        assert!(s2 <= 4 * s1, "{s1} vs {s2}");
+        assert!(steps_for_error(&terms(), 0.0, 1e-2) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_steps_rejected() {
+        trotterize(2, &terms(), 1.0, 0);
+    }
+}

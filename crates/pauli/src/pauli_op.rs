@@ -1,0 +1,195 @@
+//! The single-qubit Pauli operator alphabet.
+
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The discriminants encode the paper's lexicographic rank (`X < Y < Z < I`,
+/// §4.1), so deriving [`Ord`] yields exactly the scheduling order.
+///
+/// # Example
+///
+/// ```
+/// use pauli::Pauli;
+///
+/// assert!(Pauli::X < Pauli::I);
+/// assert_eq!(Pauli::from_bits(true, true), Pauli::Y);
+/// assert_eq!(Pauli::Y.bits(), (true, true));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pauli {
+    /// The Pauli-X operator.
+    X = 0,
+    /// The Pauli-Y operator.
+    Y = 1,
+    /// The Pauli-Z operator.
+    Z = 2,
+    /// The identity operator.
+    I = 3,
+}
+
+impl Pauli {
+    /// All four operators in lexicographic order.
+    pub const ALL: [Pauli; 4] = [Pauli::X, Pauli::Y, Pauli::Z, Pauli::I];
+
+    /// Builds a Pauli from its symplectic `(x, z)` bit pair.
+    ///
+    /// `(0,0) = I`, `(1,0) = X`, `(1,1) = Y`, `(0,1) = Z`.
+    #[inline]
+    pub fn from_bits(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns the symplectic `(x, z)` bit pair of this operator.
+    #[inline]
+    pub fn bits(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Whether this operator is the identity.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+
+    /// Whether `self` and `other` commute as single-qubit operators.
+    ///
+    /// Two non-identity Paulis commute iff they are equal.
+    #[inline]
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+
+    /// Single-qubit product `self · other = i^k · p`.
+    ///
+    /// Returns `(p, k)` with the phase exponent `k ∈ {0, 1, 3}` of `i`
+    /// (`k = 1` for cyclic products such as `X·Y = iZ`, `k = 3` for
+    /// anti-cyclic ones such as `Y·X = −iZ`).
+    pub fn mul(self, other: Pauli) -> (Pauli, u8) {
+        use Pauli::{I, X, Y, Z};
+        match (self, other) {
+            (I, p) | (p, I) => (p, 0),
+            (a, b) if a == b => (I, 0),
+            (X, Y) => (Z, 1),
+            (Y, Z) => (X, 1),
+            (Z, X) => (Y, 1),
+            (Y, X) => (Z, 3),
+            (Z, Y) => (X, 3),
+            (X, Z) => (Y, 3),
+            _ => unreachable!("all pairs covered"),
+        }
+    }
+
+    /// Parses a single operator character (`I`, `X`, `Y`, `Z`, case-insensitive).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// The operator's character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+impl Default for Pauli {
+    fn default() -> Self {
+        Pauli::I
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_rank_matches_paper() {
+        // §4.1: "we assume X < Y < Z < I".
+        assert!(Pauli::X < Pauli::Y);
+        assert!(Pauli::Y < Pauli::Z);
+        assert!(Pauli::Z < Pauli::I);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.bits();
+            assert_eq!(Pauli::from_bits(x, z), p);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('x'), Some(Pauli::X));
+        assert_eq!(Pauli::from_char('Q'), None);
+    }
+
+    #[test]
+    fn commutation_rules() {
+        assert!(Pauli::X.commutes_with(Pauli::X));
+        assert!(Pauli::X.commutes_with(Pauli::I));
+        assert!(!Pauli::X.commutes_with(Pauli::Y));
+        assert!(!Pauli::Z.commutes_with(Pauli::Y));
+    }
+
+    #[test]
+    fn products_follow_levi_civita() {
+        assert_eq!(Pauli::X.mul(Pauli::Y), (Pauli::Z, 1));
+        assert_eq!(Pauli::Y.mul(Pauli::X), (Pauli::Z, 3));
+        assert_eq!(Pauli::Y.mul(Pauli::Z), (Pauli::X, 1));
+        assert_eq!(Pauli::Z.mul(Pauli::Y), (Pauli::X, 3));
+        assert_eq!(Pauli::Z.mul(Pauli::X), (Pauli::Y, 1));
+        assert_eq!(Pauli::X.mul(Pauli::Z), (Pauli::Y, 3));
+        for p in Pauli::ALL {
+            assert_eq!(p.mul(p), (Pauli::I, 0));
+            assert_eq!(p.mul(Pauli::I), (p, 0));
+            assert_eq!(Pauli::I.mul(p), (p, 0));
+        }
+    }
+
+    #[test]
+    fn product_phase_consistency() {
+        // i^k(a,b) * i^k(b,a) == 1 for anticommuting pairs (k + k' = 4).
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (_, k1) = a.mul(b);
+                let (_, k2) = b.mul(a);
+                if a.commutes_with(b) {
+                    assert_eq!(k1, 0);
+                    assert_eq!(k2, 0);
+                } else {
+                    assert_eq!((k1 + k2) % 4, 0);
+                }
+            }
+        }
+    }
+}

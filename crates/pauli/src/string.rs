@@ -1,0 +1,447 @@
+//! Bit-packed n-qubit Pauli strings.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Pauli;
+
+/// An n-qubit Pauli string stored as two bit planes (`x`, `z`) of `u64`
+/// words, one bit per qubit.
+///
+/// Word-parallel popcount queries make the Paulihedral passes scalable: the
+/// scheduling and synthesis algorithms only ever ask set-style questions
+/// (commutation, operator overlap, shared/disjoint support), all of which
+/// are a handful of AND/XOR/popcount operations here.
+///
+/// # Example
+///
+/// ```
+/// use pauli::{Pauli, PauliString};
+///
+/// let mut p = PauliString::identity(5);
+/// p.set(4, Pauli::Y);
+/// p.set(3, Pauli::Z);
+/// p.set(1, Pauli::X);
+/// p.set(0, Pauli::Z);
+/// assert_eq!(p.to_string(), "YZIXZ");
+/// assert_eq!(p.support(), vec![0, 1, 3, 4]);
+/// assert_eq!(p.weight(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    n: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+}
+
+/// Error returned when parsing a [`PauliString`] from text fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The offending character, if any (`None` for an empty string).
+    pub bad_char: Option<char>,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.bad_char {
+            Some(c) => write!(f, "invalid pauli character `{c}` (expected I, X, Y or Z)"),
+            None => write!(f, "empty pauli string"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+const fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+impl PauliString {
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> PauliString {
+        PauliString {
+            n,
+            x: vec![0; words_for(n)],
+            z: vec![0; words_for(n)],
+        }
+    }
+
+    /// Builds a string that is `p` on every qubit of `support` and identity
+    /// elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit in `support` is `>= n`.
+    pub fn with_ops(n: usize, support: &[usize], p: Pauli) -> PauliString {
+        let mut s = PauliString::identity(n);
+        for &q in support {
+            s.set(q, p);
+        }
+        s
+    }
+
+    /// Builds a string from explicit per-qubit operators; `ops[i]` is the
+    /// operator on qubit `i`.
+    pub fn from_ops(ops: &[Pauli]) -> PauliString {
+        let mut s = PauliString::identity(ops.len());
+        for (q, &p) in ops.iter().enumerate() {
+            s.set(q, p);
+        }
+        s
+    }
+
+    /// The number of qubits `n`.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The operator on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.num_qubits()`.
+    #[inline]
+    pub fn get(&self, q: usize) -> Pauli {
+        assert!(q < self.n, "qubit {q} out of range for {}-qubit string", self.n);
+        let (w, b) = (q / 64, q % 64);
+        Pauli::from_bits((self.x[w] >> b) & 1 == 1, (self.z[w] >> b) & 1 == 1)
+    }
+
+    /// Sets the operator on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.num_qubits()`.
+    #[inline]
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        assert!(q < self.n, "qubit {q} out of range for {}-qubit string", self.n);
+        let (w, b) = (q / 64, q % 64);
+        let (xb, zb) = p.bits();
+        self.x[w] = (self.x[w] & !(1 << b)) | ((xb as u64) << b);
+        self.z[w] = (self.z[w] & !(1 << b)) | ((zb as u64) << b);
+    }
+
+    /// Whether every qubit carries the identity.
+    pub fn is_identity(&self) -> bool {
+        self.x.iter().all(|&w| w == 0) && self.z.iter().all(|&w| w == 0)
+    }
+
+    /// The qubits carrying a non-identity operator, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        let mut qs = Vec::new();
+        for q in 0..self.n {
+            let (w, b) = (q / 64, q % 64);
+            if ((self.x[w] | self.z[w]) >> b) & 1 == 1 {
+                qs.push(q);
+            }
+        }
+        qs
+    }
+
+    /// The number of non-identity operators (a.k.a. the Pauli weight).
+    #[inline]
+    pub fn weight(&self) -> usize {
+        self.x
+            .iter()
+            .zip(&self.z)
+            .map(|(&x, &z)| (x | z).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether qubit `q` carries a non-identity operator.
+    #[inline]
+    pub fn is_active(&self, q: usize) -> bool {
+        let (w, b) = (q / 64, q % 64);
+        ((self.x[w] | self.z[w]) >> b) & 1 == 1
+    }
+
+    /// Whether `self` and `other` commute as Hermitian operators.
+    ///
+    /// Two Pauli strings commute iff they anticommute on an even number of
+    /// qubits, i.e. the symplectic form `Σ x_a·z_b ⊕ z_a·x_b` vanishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different qubit counts.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        self.assert_same_n(other);
+        let mut parity = 0u32;
+        for w in 0..self.x.len() {
+            parity ^= (self.x[w] & other.z[w]).count_ones() & 1;
+            parity ^= (self.z[w] & other.x[w]).count_ones() & 1;
+        }
+        parity == 0
+    }
+
+    /// The number of qubits where `self` and `other` carry the **same
+    /// non-identity** operator.
+    ///
+    /// This is the paper's operator-overlap measure driving block scheduling
+    /// (Alg. 1 line 5) and layer pairing (Alg. 2 line 3): gates between two
+    /// adjacent simulation circuits can only cancel on qubits where the
+    /// operators (and hence basis-change gates) coincide.
+    pub fn overlap(&self, other: &PauliString) -> usize {
+        self.assert_same_n(other);
+        let mut count = 0usize;
+        for w in 0..self.x.len() {
+            let eq_x = !(self.x[w] ^ other.x[w]);
+            let eq_z = !(self.z[w] ^ other.z[w]);
+            let non_i = self.x[w] | self.z[w];
+            count += (eq_x & eq_z & non_i).count_ones() as usize;
+        }
+        count
+    }
+
+    /// The number of qubits active (non-identity) in **both** strings,
+    /// regardless of which operator they carry.
+    pub fn shared_support(&self, other: &PauliString) -> usize {
+        self.assert_same_n(other);
+        self.x
+            .iter()
+            .zip(&self.z)
+            .zip(other.x.iter().zip(&other.z))
+            .map(|((&xa, &za), (&xb, &zb))| ((xa | za) & (xb | zb)).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the active-qubit sets of the two strings are disjoint.
+    pub fn disjoint_support(&self, other: &PauliString) -> bool {
+        self.shared_support(other) == 0
+    }
+
+    /// Operator product `self · other = i^k · p`; returns `(p, k)` with
+    /// `k ∈ {0,1,2,3}` the exponent of the global phase `i^k`.
+    pub fn mul(&self, other: &PauliString) -> (PauliString, u8) {
+        self.assert_same_n(other);
+        let mut out = PauliString::identity(self.n);
+        let mut phase = 0u8;
+        for q in 0..self.n {
+            let (p, k) = self.get(q).mul(other.get(q));
+            out.set(q, p);
+            phase = (phase + k) % 4;
+        }
+        (out, phase)
+    }
+
+    /// The paper's lexicographic order: `X < Y < Z < I`, compared from qubit
+    /// `n−1` down to qubit `0` (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different qubit counts.
+    pub fn lex_cmp(&self, other: &PauliString) -> Ordering {
+        self.assert_same_n(other);
+        for q in (0..self.n).rev() {
+            let ord = self.get(q).cmp(&other.get(q));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Iterates over the per-qubit operators, qubit `0` first.
+    pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
+        (0..self.n).map(move |q| self.get(q))
+    }
+
+    /// The `x` bit plane (one bit per qubit, qubit `q` at bit `q % 64` of
+    /// word `q / 64`).
+    pub fn x_words(&self) -> &[u64] {
+        &self.x
+    }
+
+    /// The `z` bit plane; see [`Self::x_words`].
+    pub fn z_words(&self) -> &[u64] {
+        &self.z
+    }
+
+    /// Merges `other` into `self` on qubits where `self` is identity.
+    ///
+    /// Used to build layer *signatures*: the blocks in a scheduled layer
+    /// have disjoint active qubits, so merging their boundary strings gives
+    /// the layer's effective front/back Pauli pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different qubit counts, or in debug builds
+    /// if the supports overlap (signatures are only meaningful for disjoint
+    /// blocks).
+    pub fn merge_disjoint(&mut self, other: &PauliString) {
+        self.assert_same_n(other);
+        debug_assert!(self.disjoint_support(other), "merge of overlapping supports");
+        for w in 0..self.x.len() {
+            self.x[w] |= other.x[w];
+            self.z[w] |= other.z[w];
+        }
+    }
+
+    fn assert_same_n(&self, other: &PauliString) {
+        assert_eq!(
+            self.n, other.n,
+            "pauli strings on different qubit counts ({} vs {})",
+            self.n, other.n
+        );
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for q in (0..self.n).rev() {
+            write!(f, "{}", self.get(q))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PauliString(\"{self}\")")
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    /// Parses a string such as `"YZIXZ"`, leftmost character = qubit `n−1`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParsePauliError { bad_char: None });
+        }
+        let n = s.chars().count();
+        let mut out = PauliString::identity(n);
+        for (i, c) in s.chars().enumerate() {
+            let p = Pauli::from_char(c).ok_or(ParsePauliError { bad_char: Some(c) })?;
+            out.set(n - 1 - i, p);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["I", "XYZI", "YZIXZ", "ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ"] {
+            assert_eq!(ps(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<PauliString>().is_err());
+        assert_eq!(
+            "XQZ".parse::<PauliString>(),
+            Err(ParsePauliError { bad_char: Some('Q') })
+        );
+    }
+
+    #[test]
+    fn endianness_matches_paper() {
+        // P = σ_{n-1} … σ_0: the leftmost character sits on the highest qubit.
+        let p = ps("YZIXZ");
+        assert_eq!(p.get(4), Pauli::Y);
+        assert_eq!(p.get(3), Pauli::Z);
+        assert_eq!(p.get(2), Pauli::I);
+        assert_eq!(p.get(1), Pauli::X);
+        assert_eq!(p.get(0), Pauli::Z);
+    }
+
+    #[test]
+    fn support_and_weight() {
+        let p = ps("YZIXZ");
+        assert_eq!(p.support(), vec![0, 1, 3, 4]);
+        assert_eq!(p.weight(), 4);
+        assert!(p.is_active(0));
+        assert!(!p.is_active(2));
+        assert!(PauliString::identity(7).is_identity());
+    }
+
+    #[test]
+    fn commutation_examples() {
+        // ZZ and XX commute (anticommute on two qubits); ZI and XI do not.
+        assert!(ps("ZZ").commutes_with(&ps("XX")));
+        assert!(!ps("ZI").commutes_with(&ps("XI")));
+        assert!(ps("ZI").commutes_with(&ps("IX")));
+        // The Fig. 4(c) pair: ZZI and ZXI anticommute.
+        assert!(!ps("ZZI").commutes_with(&ps("ZXI")));
+    }
+
+    #[test]
+    fn commutation_across_word_boundary() {
+        let mut a = PauliString::identity(130);
+        let mut b = PauliString::identity(130);
+        a.set(0, Pauli::X);
+        b.set(0, Pauli::Z);
+        a.set(129, Pauli::X);
+        b.set(129, Pauli::Z);
+        assert!(a.commutes_with(&b)); // two anticommuting sites → commute
+        b.set(129, Pauli::I);
+        assert!(!a.commutes_with(&b));
+    }
+
+    #[test]
+    fn overlap_counts_equal_non_identity_ops() {
+        // Fig. 4(a): ZZY and ZZI share Z on two qubits.
+        assert_eq!(ps("ZZY").overlap(&ps("ZZI")), 2);
+        assert_eq!(ps("ZZY").overlap(&ps("ZZY")), 3);
+        assert_eq!(ps("XYZ").overlap(&ps("ZYX")), 1);
+        assert_eq!(ps("III").overlap(&ps("III")), 0);
+    }
+
+    #[test]
+    fn shared_and_disjoint_support() {
+        assert_eq!(ps("XXI").shared_support(&ps("IZZ")), 1);
+        assert!(ps("XII").disjoint_support(&ps("IIZ")));
+        assert!(!ps("XII").disjoint_support(&ps("ZII")));
+    }
+
+    #[test]
+    fn lex_order_matches_paper_example() {
+        // §4.1: X < Y < Z < I compared from the top qubit downward.
+        assert_eq!(ps("XX").lex_cmp(&ps("XY")), Ordering::Less);
+        assert_eq!(ps("YI").lex_cmp(&ps("XZ")), Ordering::Greater);
+        assert_eq!(ps("IX").lex_cmp(&ps("XI")), Ordering::Greater);
+        assert_eq!(ps("ZZZ").lex_cmp(&ps("ZZZ")), Ordering::Equal);
+    }
+
+    #[test]
+    fn string_product_tracks_phase() {
+        let (p, k) = ps("XI").mul(&ps("YI"));
+        assert_eq!(p, ps("ZI"));
+        assert_eq!(k, 1);
+        let (p, k) = ps("XY").mul(&ps("YX"));
+        assert_eq!(p, ps("ZZ"));
+        assert_eq!(k, 0); // i · (−i) = 1
+        let (p, k) = ps("ZZ").mul(&ps("ZZ"));
+        assert!(p.is_identity());
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn merge_disjoint_builds_signature() {
+        let mut a = ps("XXII");
+        a.merge_disjoint(&ps("IIZY"));
+        assert_eq!(a, ps("XXZY"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        ps("XX").get(2);
+    }
+
+    #[test]
+    fn with_ops_constructor() {
+        let p = PauliString::with_ops(5, &[0, 2], Pauli::Z);
+        assert_eq!(p.to_string(), "IIZIZ");
+    }
+}

@@ -1,0 +1,63 @@
+//! Weighted Pauli strings — the `⟨pauli_str, weight⟩` production of the
+//! Pauli IR grammar (Fig. 5).
+
+use std::fmt;
+
+use crate::PauliString;
+
+/// A Pauli string with a real coefficient: one summand `w·P` of a
+/// Hamiltonian expanded in the Pauli basis (`H = Σ_j w_j P_j`, §2.2).
+///
+/// # Example
+///
+/// ```
+/// use pauli::PauliTerm;
+///
+/// let t = PauliTerm::new("ZZI".parse()?, 0.134);
+/// assert_eq!(t.weight, 0.134);
+/// assert_eq!(t.string.support(), vec![1, 2]);
+/// # Ok::<(), pauli::ParsePauliError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PauliTerm {
+    /// The Pauli string `P`.
+    pub string: PauliString,
+    /// The real weight `w`.
+    pub weight: f64,
+}
+
+impl PauliTerm {
+    /// Creates a weighted Pauli term.
+    pub fn new(string: PauliString, weight: f64) -> PauliTerm {
+        PauliTerm { string, weight }
+    }
+
+    /// The number of qubits of the underlying string.
+    pub fn num_qubits(&self) -> usize {
+        self.string.num_qubits()
+    }
+}
+
+impl fmt::Display for PauliTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.string, self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_ir_syntax() {
+        let t = PauliTerm::new("IIXY".parse().unwrap(), 0.5);
+        assert_eq!(t.to_string(), "(IIXY, 0.5)");
+    }
+
+    #[test]
+    fn accessors() {
+        let t = PauliTerm::new("XYZ".parse().unwrap(), -0.25);
+        assert_eq!(t.num_qubits(), 3);
+        assert_eq!(t.weight, -0.25);
+    }
+}

@@ -1,0 +1,177 @@
+//! Single-qubit gate-run fusion.
+//!
+//! Emulates the `Optimize1qGates`-style stage of generic compilers: maximal
+//! runs of single-qubit gates on a wire are multiplied into one 2×2 unitary
+//! and re-synthesized as at most three rotations (`Rz·Ry·Rz`). A run is
+//! replaced only when that makes it shorter, so fusion never inflates the
+//! single-qubit count.
+
+use crate::math::Mat2;
+use crate::{Circuit, Gate};
+
+/// Re-synthesizes a fused unitary as up to three rotations in circuit order.
+fn resynthesize(q: usize, u: &Mat2) -> Vec<Gate> {
+    if u.is_identity_up_to_phase(1e-10) {
+        return Vec::new();
+    }
+    let (a, b, c) = u.zyz_angles();
+    // Operator product Rz(a)·Ry(b)·Rz(c) applies Rz(c) first.
+    let mut out = Vec::new();
+    for gate in [Gate::Rz(q, c), Gate::Ry(q, b), Gate::Rz(q, a)] {
+        let theta = match gate {
+            Gate::Rz(_, t) | Gate::Ry(_, t) => t,
+            _ => unreachable!(),
+        };
+        let r = theta.rem_euclid(std::f64::consts::TAU);
+        if r > 1e-10 && std::f64::consts::TAU - r > 1e-10 {
+            out.push(gate);
+        }
+    }
+    out
+}
+
+/// Fuses maximal single-qubit runs on every wire, in place.
+///
+/// Returns the number of gates eliminated.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::{Circuit, Gate};
+/// use qcircuit::fusion::fuse_single_qubit_runs;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(Gate::H(0));
+/// c.push(Gate::S(0));
+/// c.push(Gate::Sdg(0));
+/// c.push(Gate::H(0));
+/// let removed = fuse_single_qubit_runs(&mut c);
+/// assert_eq!(removed, 4); // the run multiplies to the identity
+/// assert!(c.is_empty());
+/// ```
+pub fn fuse_single_qubit_runs(circuit: &mut Circuit) -> usize {
+    let n = circuit.num_qubits();
+    let before = circuit.len();
+    let mut out: Vec<Gate> = Vec::with_capacity(before);
+    // Pending run per wire: accumulated unitary + original gates.
+    let mut pending: Vec<Option<(Mat2, Vec<Gate>)>> = vec![None; n];
+
+    let flush = |q: usize, pending: &mut Vec<Option<(Mat2, Vec<Gate>)>>, out: &mut Vec<Gate>| {
+        if let Some((u, originals)) = pending[q].take() {
+            let fused = resynthesize(q, &u);
+            if fused.len() < originals.len() {
+                out.extend(fused);
+            } else {
+                out.extend(originals);
+            }
+        }
+    };
+
+    for &g in circuit.gates() {
+        match g.qubits() {
+            (q, None) => {
+                let m = g.matrix().expect("single-qubit gate has a matrix");
+                match &mut pending[q] {
+                    Some((u, originals)) => {
+                        *u = m.matmul(u); // later gate acts after: left-multiply
+                        originals.push(g);
+                    }
+                    slot @ None => *slot = Some((m, vec![g])),
+                }
+            }
+            (a, Some(b)) => {
+                flush(a, &mut pending, &mut out);
+                flush(b, &mut pending, &mut out);
+                out.push(g);
+            }
+        }
+    }
+    for q in 0..n {
+        flush(q, &mut pending, &mut out);
+    }
+    circuit.set_gates(out);
+    before - circuit.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_run_disappears() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        c.push(Gate::H(0));
+        assert_eq!(fuse_single_qubit_runs(&mut c), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn long_run_compresses_to_at_most_three() {
+        let mut c = Circuit::new(1);
+        for g in [
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Rz(0, 0.3),
+            Gate::H(0),
+            Gate::Rx(0, -0.8),
+            Gate::Sdg(0),
+        ] {
+            c.push(g);
+        }
+        fuse_single_qubit_runs(&mut c);
+        assert!(c.len() <= 3, "got {}", c.len());
+    }
+
+    #[test]
+    fn short_runs_are_kept_when_fusion_does_not_help() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        c.push(Gate::S(0));
+        // H·S needs 3 rotations; the 2-gate original is kept.
+        assert_eq!(fuse_single_qubit_runs(&mut c), 0);
+        assert_eq!(c.gates(), &[Gate::H(0), Gate::S(0)]);
+    }
+
+    #[test]
+    fn two_qubit_gates_break_runs() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::H(0));
+        assert_eq!(fuse_single_qubit_runs(&mut c), 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn runs_on_different_wires_are_independent() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(1));
+        c.push(Gate::H(0));
+        c.push(Gate::H(1));
+        assert_eq!(fuse_single_qubit_runs(&mut c), 4);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fused_unitary_is_equivalent() {
+        // Verify H·S·H fusion preserves the operator (up to global phase).
+        let gates = [Gate::H(0), Gate::S(0), Gate::H(0)];
+        let mut reference = Mat2::IDENTITY;
+        for g in gates {
+            reference = g.matrix().unwrap().matmul(&reference);
+        }
+        let mut c = Circuit::new(1);
+        for g in gates {
+            c.push(g);
+        }
+        fuse_single_qubit_runs(&mut c);
+        let mut fused = Mat2::IDENTITY;
+        for g in c.gates() {
+            fused = g.matrix().unwrap().matmul(&fused);
+        }
+        let diff = reference.matmul(&fused.dagger());
+        assert!(diff.is_identity_up_to_phase(1e-9));
+    }
+}

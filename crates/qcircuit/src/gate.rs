@@ -1,0 +1,208 @@
+//! The gate alphabet.
+
+use std::fmt;
+
+use crate::math::{h_matrix, rx_matrix, ry_matrix, rz_matrix, C64, Mat2};
+
+/// A quantum gate on named qubit wires.
+///
+/// The alphabet covers everything the Paulihedral flows emit: `H` and
+/// `Rx(±π/2)` basis changes, the central `Rz` of every Pauli-rotation
+/// gadget, `CNOT` trees, routing `SWAP`s, and the `S/S†` Cliffords used by
+/// the simultaneous-diagonalization baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Phase gate S.
+    S(usize),
+    /// Inverse phase gate S†.
+    Sdg(usize),
+    /// Z-rotation `Rz(θ) = exp(−iθZ/2)`.
+    Rz(usize, f64),
+    /// X-rotation `Rx(θ) = exp(−iθX/2)`.
+    Rx(usize, f64),
+    /// Y-rotation `Ry(θ) = exp(−iθY/2)`.
+    Ry(usize, f64),
+    /// CNOT with `(control, target)`.
+    Cx(usize, usize),
+    /// SWAP of two qubits.
+    Swap(usize, usize),
+}
+
+impl Gate {
+    /// The qubits the gate acts on: `(first, second)` where `second` is
+    /// `None` for single-qubit gates.
+    #[inline]
+    pub fn qubits(&self) -> (usize, Option<usize>) {
+        match *self {
+            Gate::H(q) | Gate::X(q) | Gate::S(q) | Gate::Sdg(q) => (q, None),
+            Gate::Rz(q, _) | Gate::Rx(q, _) | Gate::Ry(q, _) => (q, None),
+            Gate::Cx(a, b) | Gate::Swap(a, b) => (a, Some(b)),
+        }
+    }
+
+    /// Whether the gate acts on two qubits.
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cx(..) | Gate::Swap(..))
+    }
+
+    /// Whether the gate touches qubit `q`.
+    #[inline]
+    pub fn acts_on(&self, q: usize) -> bool {
+        let (a, b) = self.qubits();
+        a == q || b == Some(q)
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            g => g,
+        }
+    }
+
+    /// Whether `self · other = I` exactly (self-inverse pairs and `S·S†`);
+    /// rotation pairs are handled by angle merging instead.
+    pub fn cancels_with(&self, other: &Gate) -> bool {
+        match (*self, *other) {
+            (Gate::H(a), Gate::H(b)) | (Gate::X(a), Gate::X(b)) => a == b,
+            (Gate::S(a), Gate::Sdg(b)) | (Gate::Sdg(a), Gate::S(b)) => a == b,
+            (Gate::Cx(a, b), Gate::Cx(c, d)) => a == c && b == d,
+            (Gate::Swap(a, b), Gate::Swap(c, d)) => (a, b) == (c, d) || (a, b) == (d, c),
+            _ => false,
+        }
+    }
+
+    /// The 2×2 matrix of a single-qubit gate, or `None` for two-qubit gates.
+    pub fn matrix(&self) -> Option<Mat2> {
+        Some(match *self {
+            Gate::H(_) => h_matrix(),
+            Gate::X(_) => Mat2::new(C64::ZERO, C64::ONE, C64::ONE, C64::ZERO),
+            Gate::S(_) => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, C64::I),
+            Gate::Sdg(_) => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, -C64::I),
+            Gate::Rz(_, t) => rz_matrix(t),
+            Gate::Rx(_, t) => rx_matrix(t),
+            Gate::Ry(_, t) => ry_matrix(t),
+            Gate::Cx(..) | Gate::Swap(..) => return None,
+        })
+    }
+
+    /// Whether the gate is diagonal in the computational (Z) basis.
+    #[inline]
+    pub fn is_z_diagonal(&self) -> bool {
+        matches!(self, Gate::S(_) | Gate::Sdg(_) | Gate::Rz(..))
+    }
+
+    /// Whether the gate is diagonal in the X basis.
+    #[inline]
+    pub fn is_x_diagonal(&self) -> bool {
+        matches!(self, Gate::X(_) | Gate::Rx(..))
+    }
+
+    /// Remaps qubit indices through `f` (used when embedding circuits into
+    /// devices or permuting layouts).
+    pub fn map_qubits(&self, mut f: impl FnMut(usize) -> usize) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::Rz(q, t) => Gate::Rz(f(q), t),
+            Gate::Rx(q, t) => Gate::Rx(f(q), t),
+            Gate::Ry(q, t) => Gate::Ry(f(q), t),
+            Gate::Cx(a, b) => Gate::Cx(f(a), f(b)),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H(q) => write!(f, "h q{q}"),
+            Gate::X(q) => write!(f, "x q{q}"),
+            Gate::S(q) => write!(f, "s q{q}"),
+            Gate::Sdg(q) => write!(f, "sdg q{q}"),
+            Gate::Rz(q, t) => write!(f, "rz({t}) q{q}"),
+            Gate::Rx(q, t) => write!(f, "rx({t}) q{q}"),
+            Gate::Ry(q, t) => write!(f, "ry({t}) q{q}"),
+            Gate::Cx(a, b) => write!(f, "cx q{a}, q{b}"),
+            Gate::Swap(a, b) => write!(f, "swap q{a}, q{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_accessors() {
+        assert_eq!(Gate::H(3).qubits(), (3, None));
+        assert_eq!(Gate::Cx(1, 2).qubits(), (1, Some(2)));
+        assert!(Gate::Swap(0, 4).is_two_qubit());
+        assert!(!Gate::Rz(0, 1.0).is_two_qubit());
+        assert!(Gate::Cx(1, 2).acts_on(2));
+        assert!(!Gate::Cx(1, 2).acts_on(0));
+    }
+
+    #[test]
+    fn inverse_pairs() {
+        assert_eq!(Gate::S(0).inverse(), Gate::Sdg(0));
+        assert_eq!(Gate::Rz(1, 0.5).inverse(), Gate::Rz(1, -0.5));
+        assert_eq!(Gate::Cx(0, 1).inverse(), Gate::Cx(0, 1));
+    }
+
+    #[test]
+    fn cancellation_pairs() {
+        assert!(Gate::H(2).cancels_with(&Gate::H(2)));
+        assert!(!Gate::H(2).cancels_with(&Gate::H(1)));
+        assert!(Gate::Cx(0, 1).cancels_with(&Gate::Cx(0, 1)));
+        assert!(!Gate::Cx(0, 1).cancels_with(&Gate::Cx(1, 0)));
+        assert!(Gate::Swap(0, 1).cancels_with(&Gate::Swap(1, 0)));
+        assert!(Gate::S(0).cancels_with(&Gate::Sdg(0)));
+        assert!(!Gate::Rz(0, 0.5).cancels_with(&Gate::Rz(0, -0.5)));
+    }
+
+    #[test]
+    fn single_qubit_matrices_are_unitary() {
+        for g in [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::Rz(0, 0.7),
+            Gate::Rx(0, -1.3),
+            Gate::Ry(0, 2.2),
+        ] {
+            let m = g.matrix().unwrap();
+            let prod = m.matmul(&m.dagger());
+            assert!(prod.is_identity_up_to_phase(1e-10), "{g}");
+        }
+        assert!(Gate::Cx(0, 1).matrix().is_none());
+    }
+
+    #[test]
+    fn diagonality_families() {
+        assert!(Gate::Rz(0, 1.0).is_z_diagonal());
+        assert!(Gate::S(0).is_z_diagonal());
+        assert!(!Gate::H(0).is_z_diagonal());
+        assert!(Gate::Rx(0, 1.0).is_x_diagonal());
+        assert!(Gate::X(0).is_x_diagonal());
+        assert!(!Gate::Rz(0, 1.0).is_x_diagonal());
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let g = Gate::Cx(0, 1).map_qubits(|q| q + 10);
+        assert_eq!(g, Gate::Cx(10, 11));
+    }
+}

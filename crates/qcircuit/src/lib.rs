@@ -1,0 +1,42 @@
+//! Gate-level circuit substrate for the Paulihedral reproduction.
+//!
+//! Paulihedral lowers Pauli IR programs to gate sequences and evaluates them
+//! by CNOT count, single-qubit gate count, total gate count and circuit
+//! depth (paper §6.1). This crate provides:
+//!
+//! * [`Gate`] / [`Circuit`] — the circuit IR with those metrics,
+//! * [`math`] — minimal complex/2×2-unitary arithmetic (shared with `qsim`),
+//! * [`peephole`] — the wire-DAG cancellation pass (adjacent-inverse
+//!   cancellation, rotation merging, commutation-aware lookahead) that
+//!   realizes the gate cancellation the scheduling passes set up,
+//! * [`fusion`] — single-qubit run fusion into ZYZ Euler triples (the
+//!   `Optimize1qGates`-style stage of the emulated generic compilers),
+//! * [`qasm`] — an OpenQASM 2.0 emitter.
+//!
+//! # Example
+//!
+//! ```
+//! use qcircuit::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(3);
+//! c.push(Gate::H(0));
+//! c.push(Gate::Cx(0, 1));
+//! c.push(Gate::Rz(1, 0.5));
+//! c.push(Gate::Cx(0, 1));
+//! assert_eq!(c.stats().cnot, 2);
+//! assert_eq!(c.stats().single, 2);
+//! assert_eq!(c.stats().depth, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+pub mod fusion;
+mod gate;
+pub mod math;
+pub mod peephole;
+pub mod qasm;
+
+pub use circuit::{Circuit, CircuitStats};
+pub use gate::Gate;

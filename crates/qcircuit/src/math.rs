@@ -1,0 +1,351 @@
+//! Minimal complex and 2×2-unitary arithmetic.
+//!
+//! Kept in-repo (rather than pulling `num-complex`/`nalgebra`) so the whole
+//! substrate stays self-contained; `qsim` reuses these types for state
+//! vectors and unitaries.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::math::C64;
+///
+/// let i = C64::I;
+/// assert!((i * i + C64::ONE).norm() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// A real number.
+    #[inline]
+    pub fn real(re: f64) -> C64 {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> C64 {
+        C64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> C64 {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by `i^k` for `k ∈ {0,1,2,3}`.
+    #[inline]
+    pub fn mul_i_pow(self, k: u8) -> C64 {
+        match k % 4 {
+            0 => self,
+            1 => C64 { re: -self.im, im: self.re },
+            2 => -self,
+            _ => C64 { re: self.im, im: -self.re },
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64 { re: self.re * rhs, im: self.im * rhs }
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// A 2×2 complex matrix in row-major order: `[[a, b], [c, d]]`.
+///
+/// Used for single-qubit gate fusion and by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat2 {
+    /// Entries `[a, b, c, d]` of `[[a, b], [c, d]]`.
+    pub m: [C64; 4],
+}
+
+impl Mat2 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat2 = Mat2 {
+        m: [C64 { re: 1.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }, C64 {
+            re: 1.0,
+            im: 0.0,
+        }],
+    };
+
+    /// Creates a matrix from rows `[[a, b], [c, d]]`.
+    pub fn new(a: C64, b: C64, c: C64, d: C64) -> Mat2 {
+        Mat2 { m: [a, b, c, d] }
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Mat2) -> Mat2 {
+        let a = &self.m;
+        let b = &rhs.m;
+        Mat2 {
+            m: [
+                a[0] * b[0] + a[1] * b[2],
+                a[0] * b[1] + a[1] * b[3],
+                a[2] * b[0] + a[3] * b[2],
+                a[2] * b[1] + a[3] * b[3],
+            ],
+        }
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat2 {
+        Mat2 {
+            m: [self.m[0].conj(), self.m[2].conj(), self.m[1].conj(), self.m[3].conj()],
+        }
+    }
+
+    /// Whether `self` equals the identity up to a global phase, within `tol`.
+    pub fn is_identity_up_to_phase(&self, tol: f64) -> bool {
+        if self.m[1].norm() > tol || self.m[2].norm() > tol {
+            return false;
+        }
+        (self.m[0] - self.m[3]).norm() < tol && (self.m[0].norm() - 1.0).abs() < tol
+    }
+
+    /// ZYZ Euler decomposition: returns `(a, b, c)` such that
+    /// `self ∝ Rz(a)·Ry(b)·Rz(c)` (up to a global phase), with
+    /// `Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2})` and the usual `Ry`.
+    pub fn zyz_angles(&self) -> (f64, f64, f64) {
+        // Normalize to SU(2): divide by sqrt(det).
+        let det = self.m[0] * self.m[3] - self.m[1] * self.m[2];
+        let phase = C64::cis(det.arg() / 2.0);
+        let v: Vec<C64> = self.m.iter().map(|&e| e / phase).collect();
+        // v = [[cos(b/2) e^{-i(a+c)/2}, -sin(b/2) e^{i(c-a)/2}],
+        //      [sin(b/2) e^{i(a-c)/2},   cos(b/2) e^{ i(a+c)/2}]]
+        let b = 2.0 * v[2].norm().atan2(v[0].norm());
+        let (sum, diff) = if v[0].norm() > 1e-9 && v[2].norm() > 1e-9 {
+            (2.0 * v[3].arg(), 2.0 * v[2].arg())
+        } else if v[0].norm() > 1e-9 {
+            (2.0 * v[3].arg(), 0.0)
+        } else {
+            (0.0, 2.0 * v[2].arg())
+        };
+        let a = (sum + diff) / 2.0;
+        let c = (sum - diff) / 2.0;
+        (a, b, c)
+    }
+}
+
+/// `Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2})`.
+pub fn rz_matrix(theta: f64) -> Mat2 {
+    Mat2::new(C64::cis(-theta / 2.0), C64::ZERO, C64::ZERO, C64::cis(theta / 2.0))
+}
+
+/// `Rx(θ) = exp(−iθX/2)`.
+pub fn rx_matrix(theta: f64) -> Mat2 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    Mat2::new(c, s, s, c)
+}
+
+/// `Ry(θ) = exp(−iθY/2)`.
+pub fn ry_matrix(theta: f64) -> Mat2 {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    Mat2::new(C64::real(c), C64::real(-s), C64::real(s), C64::real(c))
+}
+
+/// The Hadamard matrix.
+pub fn h_matrix() -> Mat2 {
+    let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+    Mat2::new(s, s, s, -s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    fn approx(a: &Mat2, b: &Mat2) -> bool {
+        a.m.iter().zip(&b.m).all(|(x, y)| (*x - *y).norm() < TOL)
+    }
+
+    #[test]
+    fn complex_field_ops() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 1.0);
+        assert!(((a * b) / b - a).norm() < TOL);
+        assert!((a - a).norm() < TOL);
+        assert_eq!(a.conj().im, -2.0);
+        assert!((C64::cis(std::f64::consts::PI) + C64::ONE).norm() < TOL);
+    }
+
+    #[test]
+    fn mul_i_pow_cycles() {
+        let a = C64::new(0.3, -0.7);
+        assert_eq!(a.mul_i_pow(0), a);
+        assert!((a.mul_i_pow(1) - a * C64::I).norm() < TOL);
+        assert!((a.mul_i_pow(2) + a).norm() < TOL);
+        assert!((a.mul_i_pow(3) - a * C64::I * C64::I * C64::I).norm() < TOL);
+    }
+
+    #[test]
+    fn h_squared_is_identity() {
+        let h = h_matrix();
+        assert!(approx(&h.matmul(&h), &Mat2::IDENTITY));
+    }
+
+    #[test]
+    fn rotations_are_unitary() {
+        for theta in [0.0, 0.3, 1.2, -2.5, std::f64::consts::PI] {
+            for m in [rz_matrix(theta), rx_matrix(theta), ry_matrix(theta)] {
+                assert!(approx(&m.matmul(&m.dagger()), &Mat2::IDENTITY));
+            }
+        }
+    }
+
+    #[test]
+    fn hxh_equals_z_rotation_conjugation() {
+        // H · Rx(θ) · H = Rz(θ).
+        let h = h_matrix();
+        let lhs = h.matmul(&rx_matrix(0.7)).matmul(&h);
+        assert!(approx(&lhs, &rz_matrix(0.7)));
+    }
+
+    #[test]
+    fn zyz_reconstructs_random_unitaries() {
+        // Build pseudo-random unitaries from rotation products and verify
+        // that the ZYZ angles reconstruct them up to global phase.
+        let cases = [
+            (0.3, 0.7, -1.1),
+            (2.0, -0.4, 0.9),
+            (0.0, 1.5, 0.0),
+            (-2.7, 0.01, 3.0),
+        ];
+        for (p, q, r) in cases {
+            let u = rz_matrix(p).matmul(&ry_matrix(q)).matmul(&rx_matrix(r));
+            let (a, b, c) = u.zyz_angles();
+            let v = rz_matrix(a).matmul(&ry_matrix(b)).matmul(&rz_matrix(c));
+            let diff = u.matmul(&v.dagger());
+            assert!(
+                diff.is_identity_up_to_phase(1e-8),
+                "zyz failed for ({p},{q},{r}): {diff:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_up_to_phase_detection() {
+        let m = Mat2::new(C64::cis(0.4), C64::ZERO, C64::ZERO, C64::cis(0.4));
+        assert!(m.is_identity_up_to_phase(TOL));
+        assert!(!rz_matrix(0.1).is_identity_up_to_phase(TOL));
+    }
+}

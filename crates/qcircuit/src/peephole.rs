@@ -1,0 +1,307 @@
+//! Commutation-aware peephole cancellation.
+//!
+//! The Paulihedral scheduling and synthesis passes *create* cancellation
+//! opportunities (matching CNOT-tree prefixes, matching basis-change gates
+//! between adjacent Pauli gadgets); this pass *realizes* them. It is also
+//! the core of the emulated generic compilers' `CommutativeCancellation` /
+//! `CXCancellation` stages.
+//!
+//! The algorithm scans each gate forward along its wires: intervening gates
+//! that share no qubit are skipped, gates that commute with the scanned gate
+//! (by conservative structural rules) are slid past, and the first
+//! non-commuting blocker stops the scan. A reachable inverse partner
+//! cancels; a reachable same-axis rotation merges.
+
+use std::f64::consts::TAU;
+
+use crate::{Circuit, Gate};
+
+/// Summary of what one [`optimize`] run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeepholeReport {
+    /// Gates removed by pairwise cancellation.
+    pub cancelled: usize,
+    /// Rotation gates merged into a predecessor.
+    pub merged: usize,
+    /// Rotations removed because their angle was ≡ 0 (mod 2π).
+    pub zero_rotations: usize,
+    /// Fixpoint iterations executed.
+    pub rounds: usize,
+}
+
+/// Whether `a` and `b` commute, by conservative structural rules.
+///
+/// Only sound rules are used (shared-control / shared-target CNOTs,
+/// Z-diagonal gates through controls, X-diagonal gates through targets,
+/// same-axis single-qubit gates); `false` is always safe.
+pub fn commutes(a: &Gate, b: &Gate) -> bool {
+    let (a0, a1) = a.qubits();
+    let (b0, b1) = b.qubits();
+    let overlap = [Some(a0), a1]
+        .into_iter()
+        .flatten()
+        .any(|q| q == b0 || Some(q) == b1);
+    if !overlap {
+        return true;
+    }
+    match (a, b) {
+        (Gate::Swap(..), _) | (_, Gate::Swap(..)) => false,
+        (Gate::Cx(c1, t1), Gate::Cx(c2, t2)) => {
+            // Share a control or share a target: commute. A control hitting
+            // the other's target (or vice versa): not in general.
+            (c1 == c2 && t1 != t2 && t1 != c2 && c1 != t2)
+                || (t1 == t2 && c1 != c2 && t1 != c2 && c1 != t2)
+                || (c1 == c2 && t1 == t2)
+        }
+        (g, Gate::Cx(c, t)) | (Gate::Cx(c, t), g) => {
+            let q = g.qubits().0;
+            (q == *c && g.is_z_diagonal()) || (q == *t && g.is_x_diagonal())
+        }
+        (g1, g2) => {
+            // Single-qubit gates on the same wire.
+            (g1.is_z_diagonal() && g2.is_z_diagonal())
+                || (g1.is_x_diagonal() && g2.is_x_diagonal())
+        }
+    }
+}
+
+/// Whether a rotation angle is ≡ 0 (mod 2π), i.e. the gate is the identity
+/// up to a global phase.
+fn is_zero_angle(theta: f64) -> bool {
+    let r = theta.rem_euclid(TAU);
+    r < 1e-12 || TAU - r < 1e-12
+}
+
+/// One scan round. Returns `(cancelled, merged, zeroed)`.
+fn round(gates: &mut Vec<Option<Gate>>) -> (usize, usize, usize) {
+    let (mut cancelled, mut merged, mut zeroed) = (0usize, 0usize, 0usize);
+    for i in 0..gates.len() {
+        let Some(gi) = gates[i] else { continue };
+        // Drop identity rotations outright.
+        if let Gate::Rz(_, t) | Gate::Rx(_, t) | Gate::Ry(_, t) = gi {
+            if is_zero_angle(t) {
+                gates[i] = None;
+                zeroed += 1;
+                continue;
+            }
+        }
+        let (a0, a1) = gi.qubits();
+        for j in i + 1..gates.len() {
+            let Some(gj) = gates[j] else { continue };
+            let (b0, b1) = gj.qubits();
+            let overlap = [Some(a0), a1]
+                .into_iter()
+                .flatten()
+                .any(|q| q == b0 || Some(q) == b1);
+            if !overlap {
+                continue;
+            }
+            if gi.cancels_with(&gj) {
+                gates[i] = None;
+                gates[j] = None;
+                cancelled += 2;
+                break;
+            }
+            let merged_gate = match (gi, gj) {
+                (Gate::Rz(q1, t1), Gate::Rz(q2, t2)) if q1 == q2 => Some(Gate::Rz(q1, t1 + t2)),
+                (Gate::Rx(q1, t1), Gate::Rx(q2, t2)) if q1 == q2 => Some(Gate::Rx(q1, t1 + t2)),
+                (Gate::Ry(q1, t1), Gate::Ry(q2, t2)) if q1 == q2 => Some(Gate::Ry(q1, t1 + t2)),
+                _ => None,
+            };
+            if let Some(g) = merged_gate {
+                gates[i] = Some(g);
+                gates[j] = None;
+                merged += 1;
+                break;
+            }
+            if !commutes(&gi, &gj) {
+                break;
+            }
+        }
+    }
+    (cancelled, merged, zeroed)
+}
+
+/// Runs cancellation/merging to a fixpoint, in place.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::{Circuit, Gate};
+/// use qcircuit::peephole::optimize;
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::Cx(0, 1));
+/// c.push(Gate::Rz(0, 0.5)); // commutes through the control
+/// c.push(Gate::Cx(0, 1));
+/// let report = optimize(&mut c);
+/// assert_eq!(report.cancelled, 2);
+/// assert_eq!(c.len(), 1); // only the Rz survives
+/// ```
+pub fn optimize(circuit: &mut Circuit) -> PeepholeReport {
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().copied().map(Some).collect();
+    let mut report = PeepholeReport::default();
+    loop {
+        let (c, m, z) = round(&mut gates);
+        report.rounds += 1;
+        report.cancelled += c;
+        report.merged += m;
+        report.zero_rotations += z;
+        if c + m + z == 0 {
+            break;
+        }
+    }
+    circuit.set_gates(gates.into_iter().flatten().collect());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_inverse_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 1));
+        let r = optimize(&mut c);
+        assert_eq!(r.cancelled, 4);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cancellation_through_commuting_gates() {
+        // Rz on the control sits between two identical CNOTs: they cancel.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rz(0, 0.7));
+        c.push(Gate::Cx(0, 1));
+        optimize(&mut c);
+        assert_eq!(c.gates(), &[Gate::Rz(0, 0.7)]);
+    }
+
+    #[test]
+    fn rx_commutes_through_target() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rx(1, 0.7));
+        c.push(Gate::Cx(0, 1));
+        optimize(&mut c);
+        assert_eq!(c.gates(), &[Gate::Rx(1, 0.7)]);
+    }
+
+    #[test]
+    fn h_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        optimize(&mut c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn rz_through_shared_control_chain() {
+        // CNOTs sharing a control commute, so the outer pair cancels.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 2));
+        c.push(Gate::Cx(0, 1));
+        optimize(&mut c);
+        assert_eq!(c.gates(), &[Gate::Cx(0, 2)]);
+    }
+
+    #[test]
+    fn shared_target_cnots_commute() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 2));
+        c.push(Gate::Cx(1, 2));
+        c.push(Gate::Cx(0, 2));
+        optimize(&mut c);
+        assert_eq!(c.gates(), &[Gate::Cx(1, 2)]);
+    }
+
+    #[test]
+    fn control_target_collision_blocks() {
+        // CX(0,1) then CX(1,2): 1 is target of the first, control of the
+        // second — they do not commute, nothing cancels.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(1, 2));
+        c.push(Gate::Cx(0, 1));
+        optimize(&mut c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn rotations_merge_and_vanish() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.5));
+        c.push(Gate::Rz(0, -0.5));
+        let r = optimize(&mut c);
+        assert!(c.is_empty());
+        assert_eq!(r.merged, 1);
+        assert_eq!(r.zero_rotations, 1);
+    }
+
+    #[test]
+    fn rotations_merge_across_commuting_cnot() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0, 0.25));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rz(0, 0.5));
+        optimize(&mut c);
+        assert_eq!(c.gates(), &[Gate::Rz(0, 0.75), Gate::Cx(0, 1)]);
+    }
+
+    #[test]
+    fn s_sdg_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::S(0));
+        c.push(Gate::Sdg(0));
+        optimize(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn swap_blocks_everything() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0, 0.5));
+        c.push(Gate::Swap(0, 1));
+        c.push(Gate::Rz(0, 0.5));
+        optimize(&mut c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn full_gadget_junction_cancels() {
+        // Two adjacent ZZ gadgets exp(iθZZ) on the same pair collapse into
+        // one gadget with merged rotation — the Fig. 4(a)-style win.
+        let mut c = Circuit::new(2);
+        for theta in [0.3, 0.4] {
+            c.push(Gate::Cx(0, 1));
+            c.push(Gate::Rz(1, theta));
+            c.push(Gate::Cx(0, 1));
+        }
+        optimize(&mut c);
+        assert_eq!(c.stats().cnot, 2);
+        assert_eq!(c.stats().single, 1);
+    }
+
+    #[test]
+    fn commutes_is_symmetric_on_rules() {
+        let pairs = [
+            (Gate::Rz(0, 0.1), Gate::Cx(0, 1)),
+            (Gate::Rx(1, 0.1), Gate::Cx(0, 1)),
+            (Gate::H(0), Gate::Cx(0, 1)),
+            (Gate::Cx(0, 1), Gate::Cx(0, 2)),
+            (Gate::Cx(0, 1), Gate::Cx(2, 1)),
+            (Gate::Cx(0, 1), Gate::Cx(1, 2)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(commutes(&a, &b), commutes(&b, &a), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! OpenQASM 2.0 emission.
+//!
+//! Compiled kernels can be exported for execution on any
+//! OpenQASM-compatible stack (the practical hand-off point of this
+//! reproduction, since the quantum ecosystem in Rust is thin).
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, Gate};
+
+/// Options for [`to_qasm`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QasmOptions {
+    /// Append a measurement of every qubit into a classical register.
+    pub measure_all: bool,
+}
+
+/// Renders the circuit as an OpenQASM 2.0 program.
+///
+/// All gates used by this repository (`h`, `x`, `s`, `sdg`, `rz`, `rx`,
+/// `ry`, `cx`, `swap`) are part of `qelib1.inc`.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::{Circuit, Gate};
+/// use qcircuit::qasm::{to_qasm, QasmOptions};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cx(0, 1));
+/// let qasm = to_qasm(&c, QasmOptions::default());
+/// assert!(qasm.contains("cx q[0], q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit, options: QasmOptions) -> String {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{n}];");
+    if options.measure_all {
+        let _ = writeln!(out, "creg c[{n}];");
+    }
+    for g in circuit.gates() {
+        let _ = match *g {
+            Gate::H(q) => writeln!(out, "h q[{q}];"),
+            Gate::X(q) => writeln!(out, "x q[{q}];"),
+            Gate::S(q) => writeln!(out, "s q[{q}];"),
+            Gate::Sdg(q) => writeln!(out, "sdg q[{q}];"),
+            Gate::Rz(q, t) => writeln!(out, "rz({t}) q[{q}];"),
+            Gate::Rx(q, t) => writeln!(out, "rx({t}) q[{q}];"),
+            Gate::Ry(q, t) => writeln!(out, "ry({t}) q[{q}];"),
+            Gate::Cx(a, b) => writeln!(out, "cx q[{a}], q[{b}];"),
+            Gate::Swap(a, b) => writeln!(out, "swap q[{a}], q[{b}];"),
+        };
+    }
+    if options.measure_all {
+        for q in 0..n {
+            let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_register() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c, QasmOptions::default());
+        assert!(q.starts_with("OPENQASM 2.0;\n"));
+        assert!(q.contains("qreg q[3];"));
+        assert!(!q.contains("creg"));
+    }
+
+    #[test]
+    fn all_gate_kinds_render() {
+        let mut c = Circuit::new(2);
+        for g in [
+            Gate::H(0),
+            Gate::X(1),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::Rz(0, 0.5),
+            Gate::Rx(1, -0.5),
+            Gate::Ry(1, 1.5),
+            Gate::Cx(0, 1),
+            Gate::Swap(0, 1),
+        ] {
+            c.push(g);
+        }
+        let q = to_qasm(&c, QasmOptions::default());
+        for needle in [
+            "h q[0];",
+            "x q[1];",
+            "s q[0];",
+            "sdg q[0];",
+            "rz(0.5) q[0];",
+            "rx(-0.5) q[1];",
+            "ry(1.5) q[1];",
+            "cx q[0], q[1];",
+            "swap q[0], q[1];",
+        ] {
+            assert!(q.contains(needle), "missing {needle} in:\n{q}");
+        }
+    }
+
+    #[test]
+    fn measure_all_appends_creg_and_measures() {
+        let c = Circuit::new(2);
+        let q = to_qasm(&c, QasmOptions { measure_all: true });
+        assert!(q.contains("creg c[2];"));
+        assert!(q.contains("measure q[0] -> c[0];"));
+        assert!(q.contains("measure q[1] -> c[1];"));
+    }
+}

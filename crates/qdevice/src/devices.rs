@@ -1,0 +1,220 @@
+//! Concrete device topologies used in the evaluation.
+
+use crate::CouplingMap;
+
+/// IBM's 65-qubit Manhattan (Hummingbird r2) heavy-hexagon lattice — the SC
+/// backend of the paper's main evaluation (§6.1).
+///
+/// The edge list is the published heavy-hex connectivity: five rows of
+/// linear chains joined by sparse vertical connectors, average degree ≈ 2.2
+/// ("very sparse qubit connection", §6.3).
+pub fn manhattan_65() -> CouplingMap {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Horizontal chains.
+    let rows: [&[usize]; 5] = [
+        &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9],
+        &[13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23],
+        &[27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37],
+        &[41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51],
+        &[55, 56, 57, 58, 59, 60, 61, 62, 63, 64],
+    ];
+    for row in rows {
+        for w in row.windows(2) {
+            edges.push((w[0], w[1]));
+        }
+    }
+    // Vertical connectors (heavy-hex spokes).
+    edges.extend_from_slice(&[
+        (0, 10),
+        (4, 11),
+        (8, 12),
+        (10, 13),
+        (11, 17),
+        (12, 21),
+        (15, 24),
+        (19, 25),
+        (23, 26),
+        (24, 29),
+        (25, 33),
+        (26, 37),
+        (27, 38),
+        (31, 39),
+        (35, 40),
+        (38, 41),
+        (39, 45),
+        (40, 49),
+        (43, 52),
+        (47, 53),
+        (51, 54),
+        (52, 56),
+        (53, 60),
+        (54, 64),
+    ]);
+    CouplingMap::new(65, &edges)
+}
+
+/// IBM's 16-qubit Melbourne chip — the device of the real-system study
+/// (§6.4) — modeled as its published 2×8 ladder: two length-8 chains with
+/// rung couplers.
+pub fn melbourne_16() -> CouplingMap {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..7 {
+        edges.push((i, i + 1)); // top row 0..7
+        edges.push((8 + i, 8 + i + 1)); // bottom row 8..15
+    }
+    for i in 0..8 {
+        edges.push((i, 15 - i)); // rungs: 0-15, 1-14, …, 7-8
+    }
+    CouplingMap::new(16, &edges)
+}
+
+/// A linear (path) architecture on `n` qubits, as in Fig. 4(b).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn linear(n: usize) -> CouplingMap {
+    assert!(n > 0, "device needs at least one qubit");
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    CouplingMap::new(n, &edges)
+}
+
+/// A `rows × cols` rectangular grid.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> CouplingMap {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                edges.push((i, i + 1));
+            }
+            if r + 1 < rows {
+                edges.push((i, i + cols));
+            }
+        }
+    }
+    CouplingMap::new(rows * cols, &edges)
+}
+
+/// A generic heavy-hexagon lattice with `rows` horizontal chains of
+/// `cols` qubits joined by sparse vertical spokes (the IBM Falcon /
+/// Hummingbird / Eagle topology family; [`manhattan_65`] is the concrete
+/// 65-qubit instance).
+///
+/// Spokes attach every 4th column, offset by 2 on alternating row gaps, so
+/// every qubit keeps degree ≤ 3.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols < 5`.
+pub fn heavy_hex(rows: usize, cols: usize) -> CouplingMap {
+    assert!(rows > 0 && cols >= 5, "heavy-hex needs rows ≥ 1 and cols ≥ 5");
+    // Row r occupies ids [r*(cols+spokes) ..]; simpler: lay out row qubits
+    // first, then spoke qubits.
+    let row_base = |r: usize| r * cols;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols - 1 {
+            edges.push((row_base(r) + c, row_base(r) + c + 1));
+        }
+    }
+    let mut next = rows * cols;
+    for r in 0..rows.saturating_sub(1) {
+        let offset = if r % 2 == 0 { 0 } else { 2 };
+        let mut c = offset;
+        while c < cols {
+            let spoke = next;
+            next += 1;
+            edges.push((row_base(r) + c, spoke));
+            edges.push((spoke, row_base(r + 1) + c));
+            c += 4;
+        }
+    }
+    CouplingMap::new(next, &edges)
+}
+
+/// A fully connected device (used to model backends where routing is free,
+/// e.g. the FT backend when one still wants a `CouplingMap` interface).
+pub fn fully_connected(n: usize) -> CouplingMap {
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            edges.push((a, b));
+        }
+    }
+    CouplingMap::new(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_the_published_lattice() {
+        let m = manhattan_65();
+        assert_eq!(m.num_qubits(), 65);
+        assert_eq!(m.edges().len(), 72);
+        assert!(m.is_connected());
+        // Heavy-hex: max degree 3.
+        assert!((0..65).all(|q| m.degree(q) <= 3));
+        // Spot-check known couplers.
+        assert!(m.has_edge(0, 10));
+        assert!(m.has_edge(10, 13));
+        assert!(!m.has_edge(9, 13));
+    }
+
+    #[test]
+    fn melbourne_is_a_2x8_ladder() {
+        let m = melbourne_16();
+        assert_eq!(m.num_qubits(), 16);
+        assert_eq!(m.edges().len(), 22);
+        assert!(m.is_connected());
+        assert!(m.has_edge(0, 15));
+        assert!(m.has_edge(7, 8));
+        assert!(!m.has_edge(0, 8));
+    }
+
+    #[test]
+    fn linear_distances() {
+        let m = linear(10);
+        assert_eq!(m.distance(0, 9), 9);
+        assert_eq!(m.edges().len(), 9);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let m = grid(5, 6);
+        assert_eq!(m.num_qubits(), 30);
+        assert_eq!(m.edges().len(), 5 * 5 + 4 * 6);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn fully_connected_has_unit_distances() {
+        let m = fully_connected(5);
+        assert_eq!(m.edges().len(), 10);
+        assert_eq!(m.distance(0, 4), 1);
+    }
+
+    #[test]
+    fn heavy_hex_is_connected_low_degree() {
+        for (rows, cols) in [(2, 9), (5, 11), (3, 5)] {
+            let m = heavy_hex(rows, cols);
+            assert!(m.is_connected(), "{rows}x{cols}");
+            assert!((0..m.num_qubits()).all(|q| m.degree(q) <= 3), "{rows}x{cols}");
+            assert!(m.num_qubits() > rows * cols, "spokes exist");
+        }
+    }
+
+    #[test]
+    fn heavy_hex_scales_toward_eagle_sizes() {
+        // A 7x15 heavy-hex lands in the 127-qubit class.
+        let m = heavy_hex(7, 15);
+        assert!((120..140).contains(&m.num_qubits()), "{}", m.num_qubits());
+    }
+}

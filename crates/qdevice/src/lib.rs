@@ -1,0 +1,27 @@
+//! Hardware models for the Paulihedral reproduction.
+//!
+//! The SC-backend pass (paper Alg. 3) is mapping-aware: it needs the device
+//! coupling graph, per-edge error rates, and an initial layout on the most
+//! connected subgraph. This crate provides:
+//!
+//! * [`CouplingMap`] — an undirected device graph with all-pairs distances,
+//!   error-weighted shortest paths, and most-connected-subgraph search,
+//! * [`devices`] — the topologies used in the evaluation (IBM Manhattan-65
+//!   heavy-hex, Melbourne-16 ladder) plus generic linear/grid/heavy-hex
+//!   generators,
+//! * [`Layout`] — the logical↔physical qubit bijection tracked through
+//!   routing,
+//! * [`NoiseModel`] — synthetic calibration data and the ESP metric used by
+//!   the real-system study (Fig. 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coupling;
+pub mod devices;
+mod layout;
+mod noise;
+
+pub use coupling::CouplingMap;
+pub use layout::Layout;
+pub use noise::NoiseModel;

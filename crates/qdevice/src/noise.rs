@@ -1,0 +1,184 @@
+//! Synthetic device calibration and the ESP metric.
+//!
+//! The paper's real-system study (§6.4) guides and evaluates compilation
+//! with the *Estimated Success Probability* — the product of per-gate
+//! success rates under the vendor's calibration data. We do not have access
+//! to IBM's calibration service, so [`NoiseModel::synthetic`] generates a
+//! deterministic pseudo-random calibration with magnitudes matching the
+//! published averages of the Melbourne-era devices (CNOT ≈ 2–4%,
+//! single-qubit ≈ 0.05–0.2%, readout ≈ 3–6%). The *relative* conclusions —
+//! fewer CNOTs and lower depth ⇒ higher ESP/RSP — are insensitive to the
+//! exact draw.
+
+use qcircuit::{Circuit, Gate};
+
+use crate::CouplingMap;
+
+/// Per-gate error rates for one device.
+#[derive(Clone, Debug)]
+pub struct NoiseModel {
+    /// `cx_error[i]` is the error rate of the i-th edge of the coupling map.
+    cx_error: Vec<f64>,
+    /// Edge list matching `cx_error` (min, max endpoint order).
+    edges: Vec<(usize, usize)>,
+    /// Per-qubit single-qubit gate error rate.
+    sq_error: Vec<f64>,
+    /// Per-qubit readout error rate.
+    readout_error: Vec<f64>,
+}
+
+/// A small deterministic generator (splitmix64) so calibrations are
+/// reproducible without pulling `rand` into this crate.
+fn splitmix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl NoiseModel {
+    /// A deterministic synthetic calibration for `map`, seeded by `seed`.
+    ///
+    /// CNOT errors are drawn uniformly from `[1.5%, 4.5%]` per edge,
+    /// single-qubit errors from `[0.05%, 0.2%]`, readout errors from
+    /// `[3%, 6%]`.
+    pub fn synthetic(map: &CouplingMap, seed: u64) -> NoiseModel {
+        let mut state = seed ^ 0xD1B54A32D192ED03;
+        let edges = map.edges().to_vec();
+        let cx_error = edges.iter().map(|_| 0.015 + 0.03 * splitmix(&mut state)).collect();
+        let sq_error = (0..map.num_qubits())
+            .map(|_| 0.0005 + 0.0015 * splitmix(&mut state))
+            .collect();
+        let readout_error = (0..map.num_qubits())
+            .map(|_| 0.03 + 0.03 * splitmix(&mut state))
+            .collect();
+        NoiseModel { cx_error, edges, sq_error, readout_error }
+    }
+
+    /// A uniform calibration (every CNOT `cx`, every single-qubit gate
+    /// `sq`, every readout `ro`) — handy in tests.
+    pub fn uniform(map: &CouplingMap, cx: f64, sq: f64, ro: f64) -> NoiseModel {
+        NoiseModel {
+            cx_error: vec![cx; map.edges().len()],
+            edges: map.edges().to_vec(),
+            sq_error: vec![sq; map.num_qubits()],
+            readout_error: vec![ro; map.num_qubits()],
+        }
+    }
+
+    /// The CNOT error rate on edge `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(a, b)` is not a device edge.
+    pub fn cx_error(&self, a: usize, b: usize) -> f64 {
+        let key = (a.min(b), a.max(b));
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| e == key)
+            .unwrap_or_else(|| panic!("({a},{b}) is not a coupled pair"));
+        self.cx_error[idx]
+    }
+
+    /// The single-qubit gate error rate on qubit `q`.
+    pub fn sq_error(&self, q: usize) -> f64 {
+        self.sq_error[q]
+    }
+
+    /// The readout error rate on qubit `q`.
+    pub fn readout_error(&self, q: usize) -> f64 {
+        self.readout_error[q]
+    }
+
+    /// The error rate of one gate (SWAP = three CNOTs).
+    pub fn gate_error(&self, gate: &Gate) -> f64 {
+        match *gate {
+            Gate::Cx(a, b) => self.cx_error(a, b),
+            Gate::Swap(a, b) => {
+                let e = self.cx_error(a, b);
+                1.0 - (1.0 - e).powi(3)
+            }
+            g => self.sq_error(g.qubits().0),
+        }
+    }
+
+    /// Estimated Success Probability of a circuit: `Π_g (1 − ε_g)`, times
+    /// `Π_q (1 − ε_ro(q))` over measured qubits if `measured` is non-empty.
+    ///
+    /// This is the metric of refs [27, 40, 41] used in Fig. 11.
+    pub fn esp(&self, circuit: &Circuit, measured: &[usize]) -> f64 {
+        let mut p = 1.0;
+        for g in circuit.gates() {
+            p *= 1.0 - self.gate_error(g);
+        }
+        for &q in measured {
+            p *= 1.0 - self.readout_error(q);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    #[test]
+    fn synthetic_is_deterministic_and_in_range() {
+        let map = devices::melbourne_16();
+        let a = NoiseModel::synthetic(&map, 7);
+        let b = NoiseModel::synthetic(&map, 7);
+        for &(x, y) in map.edges() {
+            assert_eq!(a.cx_error(x, y), b.cx_error(x, y));
+            assert!((0.015..=0.045).contains(&a.cx_error(x, y)));
+        }
+        for q in 0..16 {
+            assert!((0.0005..=0.002).contains(&a.sq_error(q)));
+            assert!((0.03..=0.06).contains(&a.readout_error(q)));
+        }
+        let c = NoiseModel::synthetic(&map, 8);
+        assert!(map.edges().iter().any(|&(x, y)| a.cx_error(x, y) != c.cx_error(x, y)));
+    }
+
+    #[test]
+    fn esp_decreases_with_gate_count() {
+        let map = devices::linear(3);
+        let nm = NoiseModel::uniform(&map, 0.02, 0.001, 0.04);
+        let mut short = Circuit::new(3);
+        short.push(Gate::Cx(0, 1));
+        let mut long = short.clone();
+        long.push(Gate::Cx(1, 2));
+        long.push(Gate::H(0));
+        assert!(nm.esp(&long, &[]) < nm.esp(&short, &[]));
+        let e = nm.esp(&short, &[]);
+        assert!((e - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_counts_as_three_cnots() {
+        let map = devices::linear(2);
+        let nm = NoiseModel::uniform(&map, 0.02, 0.001, 0.04);
+        let e = nm.gate_error(&Gate::Swap(0, 1));
+        assert!((e - (1.0 - 0.98f64.powi(3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_factors_in() {
+        let map = devices::linear(2);
+        let nm = NoiseModel::uniform(&map, 0.0, 0.0, 0.1);
+        let c = Circuit::new(2);
+        assert!((nm.esp(&c, &[0, 1]) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a coupled pair")]
+    fn cx_error_requires_an_edge()
+    {
+        let map = devices::linear(3);
+        let nm = NoiseModel::uniform(&map, 0.01, 0.001, 0.01);
+        nm.cx_error(0, 2);
+    }
+}

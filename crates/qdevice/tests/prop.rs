@@ -1,0 +1,101 @@
+//! Property tests for the hardware substrate.
+
+use proptest::prelude::*;
+use qdevice::{devices, CouplingMap, Layout, NoiseModel};
+
+fn arb_connected_map() -> impl Strategy<Value = CouplingMap> {
+    // A random spanning tree plus random extra edges — always connected.
+    (2usize..12, proptest::collection::vec((any::<u32>(), any::<u32>()), 0..12)).prop_map(
+        |(n, extra)| {
+            let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v / 2, v)).collect();
+            for (a, b) in extra {
+                let (a, b) = ((a as usize) % n, (b as usize) % n);
+                if a != b {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+            CouplingMap::new(n, &edges)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn distances_satisfy_triangle_inequality(map in arb_connected_map()) {
+        let n = map.num_qubits();
+        for a in 0..n {
+            prop_assert_eq!(map.distance(a, a), 0);
+            for b in 0..n {
+                prop_assert_eq!(map.distance(a, b), map.distance(b, a));
+                for c in 0..n {
+                    prop_assert!(map.distance(a, c) <= map.distance(a, b) + map.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_have_distance_one(map in arb_connected_map()) {
+        for &(a, b) in map.edges() {
+            prop_assert_eq!(map.distance(a, b), 1);
+        }
+    }
+
+    #[test]
+    fn shortest_paths_are_valid_walks(map in arb_connected_map(), s in 0usize..12, t in 0usize..12) {
+        let n = map.num_qubits();
+        let (s, t) = (s % n, t % n);
+        let path = map.shortest_path(s, t, |_, _| 1.0);
+        prop_assert_eq!(path[0], s);
+        prop_assert_eq!(*path.last().unwrap(), t);
+        for w in path.windows(2) {
+            prop_assert!(map.has_edge(w[0], w[1]));
+        }
+        // With unit costs the path length equals the BFS distance.
+        prop_assert_eq!(path.len() as u32 - 1, map.distance(s, t));
+    }
+
+    #[test]
+    fn most_connected_subgraph_is_connected(map in arb_connected_map(), k in 1usize..12) {
+        let k = k.min(map.num_qubits());
+        let set = map.most_connected_subgraph(k);
+        prop_assert_eq!(set.len(), k);
+        prop_assert_eq!(map.components_within(&set).len(), 1);
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "no duplicates");
+    }
+
+    #[test]
+    fn layout_swaps_preserve_bijection(swaps in proptest::collection::vec((0usize..8, 0usize..8), 0..32)) {
+        let mut layout = Layout::trivial(5, 8);
+        for (a, b) in swaps {
+            if a != b {
+                layout.swap_physical(a, b);
+            }
+        }
+        // l2p/p2l stay mutually inverse.
+        let mut seen = vec![false; 8];
+        for l in 0..5 {
+            let p = layout.phys(l);
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+            prop_assert_eq!(layout.logical(p), Some(l));
+        }
+    }
+
+    #[test]
+    fn esp_is_monotone_in_gate_count(extra in 0usize..20) {
+        let map = devices::linear(4);
+        let nm = NoiseModel::uniform(&map, 0.02, 0.001, 0.03);
+        let mut c = qcircuit::Circuit::new(4);
+        let mut last = 1.0;
+        for i in 0..extra {
+            c.push(qcircuit::Gate::Cx(i % 3, i % 3 + 1));
+            let esp = nm.esp(&c, &[]);
+            prop_assert!(esp < last);
+            last = esp;
+        }
+    }
+}

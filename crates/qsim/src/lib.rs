@@ -1,0 +1,27 @@
+//! Dense quantum simulation substrate.
+//!
+//! This crate is the reproduction's *verification oracle* and its
+//! substitute for real quantum hardware:
+//!
+//! * [`State`] — a dense state vector (practical to ~20 qubits) applying
+//!   every [`qcircuit::Gate`],
+//! * [`unitary`] — circuit→unitary construction and equivalence checks up
+//!   to global phase and (for routed circuits) up to the final layout
+//!   permutation; used to prove every compiler pass semantics-preserving,
+//! * [`trotter`] — exact `exp(iθP)` operators and ordered products, the
+//!   ground truth a compiled simulation kernel must match,
+//! * [`noise`] — Monte-Carlo Pauli-error injection reproducing the paper's
+//!   real-system study (Fig. 11) on the Melbourne model,
+//! * [`qaoa`] — MaxCut utilities (cut values, optimal bitstrings,
+//!   expectation values, parameter grid search).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod noise;
+pub mod qaoa;
+mod state;
+pub mod trotter;
+pub mod unitary;
+
+pub use state::State;

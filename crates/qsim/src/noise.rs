@@ -1,0 +1,173 @@
+//! Monte-Carlo Pauli-noise simulation.
+//!
+//! Substitute for the paper's real-system study (§6.4): instead of IBM's
+//! 16-qubit Melbourne chip we run noisy trajectories on its coupling-map
+//! model. After every gate a depolarizing-style Pauli error is injected
+//! with the gate's calibrated error probability; readout flips each
+//! measured bit with its readout error. The *Real-System Success
+//! Probability* (RSP) of the paper becomes the fraction of trajectories
+//! whose measured bitstring is a correct answer.
+
+use qcircuit::Circuit;
+use qdevice::NoiseModel;
+use rand::Rng;
+
+use crate::State;
+
+/// Samples `shots` noisy trajectories of a physical circuit.
+///
+/// Returns one measured value per shot; bit `j` of each value is the
+/// outcome of physical qubit `measured[j]` (readout error applied).
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than 26 qubits.
+pub fn sample_noisy(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    measured: &[usize],
+    shots: usize,
+    rng: &mut impl Rng,
+) -> Vec<u64> {
+    let gate_errors: Vec<f64> = circuit.gates().iter().map(|g| noise.gate_error(g)).collect();
+    let readout: Vec<f64> = measured.iter().map(|&q| noise.readout_error(q)).collect();
+    sample_noisy_rates(circuit, &gate_errors, &readout, measured, shots, rng)
+}
+
+/// Like [`sample_noisy`] but with explicit per-gate error rates and
+/// per-measured-qubit readout rates — used to simulate a *compacted*
+/// circuit (indices remapped to a smaller register) while keeping the
+/// original device's calibration.
+///
+/// # Panics
+///
+/// Panics if `gate_errors` does not match the gate count or `readout`
+/// the measured count.
+pub fn sample_noisy_rates(
+    circuit: &Circuit,
+    gate_errors: &[f64],
+    readout: &[f64],
+    measured: &[usize],
+    shots: usize,
+    rng: &mut impl Rng,
+) -> Vec<u64> {
+    assert_eq!(gate_errors.len(), circuit.len(), "one error rate per gate");
+    assert_eq!(readout.len(), measured.len(), "one readout rate per measured qubit");
+    let n = circuit.num_qubits();
+    let mut out = Vec::with_capacity(shots);
+    for _ in 0..shots {
+        let mut s = State::zero(n);
+        for (g, &err) in circuit.gates().iter().zip(gate_errors) {
+            s.apply_gate(g);
+            if err > 0.0 && rng.gen::<f64>() < err {
+                inject_pauli_error(&mut s, g.qubits(), rng);
+            }
+        }
+        let raw = s.sample(rng);
+        let mut val = 0u64;
+        for (j, &q) in measured.iter().enumerate() {
+            let mut bit = (raw >> q) & 1;
+            if rng.gen::<f64>() < readout[j] {
+                bit ^= 1;
+            }
+            val |= bit << j;
+        }
+        out.push(val);
+    }
+    out
+}
+
+/// Injects a uniformly random non-identity Pauli on the gate's qubit(s).
+fn inject_pauli_error(state: &mut State, qubits: (usize, Option<usize>), rng: &mut impl Rng) {
+    match qubits {
+        (q, None) => {
+            let which = rng.gen_range(1..=3u8);
+            state.apply_pauli_error(q, which);
+        }
+        (a, Some(b)) => {
+            // One of the 15 non-identity two-qubit Paulis.
+            let code = rng.gen_range(1..16u8);
+            let (pa, pb) = (code / 4, code % 4);
+            if pa != 0 {
+                state.apply_pauli_error(a, pa);
+            }
+            if pb != 0 {
+                state.apply_pauli_error(b, pb);
+            }
+        }
+    }
+}
+
+/// The fraction of sampled values contained in `accepted` (sorted or not).
+pub fn success_fraction(samples: &[u64], accepted: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let hits = samples.iter().filter(|v| accepted.contains(v)).count();
+    hits as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+    use qdevice::devices;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_model_reproduces_ideal_sampling() {
+        let map = devices::linear(2);
+        let nm = NoiseModel::uniform(&map, 0.0, 0.0, 0.0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(0));
+        c.push(Gate::Cx(0, 1));
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = sample_noisy(&c, &nm, &[0, 1], 50, &mut rng);
+        assert!(samples.iter().all(|&v| v == 0b11));
+    }
+
+    #[test]
+    fn heavy_noise_degrades_success() {
+        let map = devices::linear(2);
+        let noisy = NoiseModel::uniform(&map, 0.3, 0.1, 0.0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(0));
+        c.push(Gate::Cx(0, 1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = sample_noisy(&c, &noisy, &[0, 1], 400, &mut rng);
+        let ok = success_fraction(&samples, &[0b11]);
+        assert!(ok < 0.95, "noise should reduce success, got {ok}");
+        assert!(ok > 0.2, "sanity: not everything fails, got {ok}");
+    }
+
+    #[test]
+    fn readout_error_flips_bits() {
+        let map = devices::linear(1);
+        let nm = NoiseModel::uniform(&map, 0.0, 0.0, 0.5);
+        let c = Circuit::new(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = sample_noisy(&c, &nm, &[0], 2000, &mut rng);
+        let ones = samples.iter().filter(|&&v| v == 1).count() as f64 / 2000.0;
+        assert!((ones - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn measured_subset_and_bit_order() {
+        let map = devices::linear(3);
+        let nm = NoiseModel::uniform(&map, 0.0, 0.0, 0.0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::X(2));
+        let mut rng = StdRng::seed_from_u64(9);
+        // Measure [2, 0]: bit 0 of the result is qubit 2 (set), bit 1 is qubit 0.
+        let samples = sample_noisy(&c, &nm, &[2, 0], 10, &mut rng);
+        assert!(samples.iter().all(|&v| v == 0b01));
+    }
+
+    #[test]
+    fn success_fraction_counts_hits() {
+        assert_eq!(success_fraction(&[1, 2, 3, 2], &[2]), 0.5);
+        assert_eq!(success_fraction(&[], &[2]), 0.0);
+        assert_eq!(success_fraction(&[5, 5], &[5, 7]), 1.0);
+    }
+}

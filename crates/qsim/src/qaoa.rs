@@ -1,0 +1,166 @@
+//! QAOA MaxCut utilities for the real-system study (Fig. 11).
+//!
+//! The paper prepares 1-level QAOA circuits, optimizes `(γ, β)` in a
+//! simulator, and measures the probability of sampling an optimal cut.
+//! These helpers provide the logical-level pieces: the ansatz, brute-force
+//! optimal cuts, expectation values, and a parameter grid search.
+
+use qcircuit::{Circuit, Gate};
+
+use crate::State;
+
+/// A weighted edge `(u, v, w)`.
+pub type WeightedEdge = (usize, usize, f64);
+
+/// The cut value of bitstring `x` on a weighted graph.
+pub fn cut_value(edges: &[WeightedEdge], x: u64) -> f64 {
+    edges
+        .iter()
+        .map(|&(u, v, w)| if ((x >> u) ^ (x >> v)) & 1 == 1 { w } else { 0.0 })
+        .sum()
+}
+
+/// Brute-force MaxCut: the optimal value and every optimal bitstring.
+///
+/// # Panics
+///
+/// Panics if `n > 22` (exhaustive enumeration).
+pub fn max_cut(n: usize, edges: &[WeightedEdge]) -> (f64, Vec<u64>) {
+    assert!(n <= 22, "brute-force maxcut limited to 22 nodes");
+    let mut best = f64::NEG_INFINITY;
+    let mut argmax = Vec::new();
+    for x in 0..(1u64 << n) {
+        let v = cut_value(edges, x);
+        if v > best + 1e-12 {
+            best = v;
+            argmax = vec![x];
+        } else if (v - best).abs() <= 1e-12 {
+            argmax.push(x);
+        }
+    }
+    (best, argmax)
+}
+
+/// The logical 1-level QAOA ansatz: `H⊗n`, then `exp(−iγ·w·Z_uZ_v)` per
+/// edge, then the mixer `Rx(2β)⊗n`.
+pub fn ansatz_p1(n: usize, edges: &[WeightedEdge], gamma: f64, beta: f64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+    }
+    for &(u, v, w) in edges {
+        c.push(Gate::Cx(u, v));
+        c.push(Gate::Rz(v, 2.0 * gamma * w));
+        c.push(Gate::Cx(u, v));
+    }
+    for q in 0..n {
+        c.push(Gate::Rx(q, 2.0 * beta));
+    }
+    c
+}
+
+/// The expected cut value of a state.
+pub fn expected_cut(state: &State, edges: &[WeightedEdge]) -> f64 {
+    state
+        .probabilities()
+        .iter()
+        .enumerate()
+        .map(|(x, p)| p * cut_value(edges, x as u64))
+        .sum()
+}
+
+/// Grid search over `(γ, β) ∈ [0, π) × [0, π)` maximizing the expected cut
+/// of the 1-level ansatz; returns `(γ*, β*, expectation)`.
+///
+/// # Panics
+///
+/// Panics if `grid == 0`.
+pub fn optimize_p1(n: usize, edges: &[WeightedEdge], grid: usize) -> (f64, f64, f64) {
+    assert!(grid > 0, "grid must be positive");
+    let mut best = (0.0, 0.0, f64::NEG_INFINITY);
+    for gi in 0..grid {
+        let gamma = std::f64::consts::PI * gi as f64 / grid as f64;
+        for bi in 0..grid {
+            let beta = std::f64::consts::PI * bi as f64 / grid as f64;
+            let mut s = State::zero(n);
+            s.apply_circuit(&ansatz_p1(n, edges, gamma, beta));
+            let e = expected_cut(&s, edges);
+            if e > best.2 {
+                best = (gamma, beta, e);
+            }
+        }
+    }
+    best
+}
+
+/// The probability mass a state assigns to a set of accepted bitstrings.
+pub fn success_probability(state: &State, accepted: &[u64]) -> f64 {
+    let probs = state.probabilities();
+    accepted.iter().map(|&x| probs[x as usize]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Vec<WeightedEdge> {
+        vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]
+    }
+
+    #[test]
+    fn cut_values_on_triangle() {
+        let e = triangle();
+        assert_eq!(cut_value(&e, 0b000), 0.0);
+        assert_eq!(cut_value(&e, 0b001), 2.0);
+        assert_eq!(cut_value(&e, 0b011), 2.0);
+    }
+
+    #[test]
+    fn max_cut_of_triangle_is_two() {
+        let (best, opts) = max_cut(3, &triangle());
+        assert_eq!(best, 2.0);
+        assert_eq!(opts.len(), 6); // all non-trivial bipartitions
+    }
+
+    #[test]
+    fn max_cut_respects_weights() {
+        let (best, opts) = max_cut(2, &[(0, 1, 2.5)]);
+        assert_eq!(best, 2.5);
+        assert_eq!(opts, vec![0b01, 0b10]);
+    }
+
+    #[test]
+    fn qaoa_beats_random_guessing_on_path() {
+        // Path graph 0-1-2: max cut 2; uniform guessing averages 1.
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0)];
+        let (_, _, e) = optimize_p1(3, &edges, 12);
+        assert!(e > 1.3, "QAOA expectation too low: {e}");
+    }
+
+    #[test]
+    fn ansatz_structure() {
+        let edges = vec![(0, 1, 1.0)];
+        let c = ansatz_p1(2, &edges, 0.3, 0.7);
+        let s = c.stats();
+        assert_eq!(s.cnot, 2);
+        assert_eq!(s.single, 2 + 1 + 2); // H×2, Rz×1, Rx×2
+    }
+
+    #[test]
+    fn success_probability_sums_mass() {
+        let mut s = State::zero(2);
+        s.apply_circuit(&ansatz_p1(2, &[(0, 1, 1.0)], 0.5, 0.4));
+        let (_, opts) = max_cut(2, &[(0, 1, 1.0)]);
+        let p = success_probability(&s, &opts);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn gamma_zero_beta_zero_is_uniform() {
+        let edges = triangle();
+        let mut s = State::zero(3);
+        s.apply_circuit(&ansatz_p1(3, &edges, 0.0, 0.0));
+        let e = expected_cut(&s, &edges);
+        assert!((e - 1.5).abs() < 1e-9); // average cut of K3 is 1.5
+    }
+}

@@ -1,0 +1,268 @@
+//! Dense state-vector simulation.
+
+use qcircuit::math::{C64, Mat2};
+use qcircuit::{Circuit, Gate};
+use rand::Rng;
+
+/// A dense `2^n` state vector.
+///
+/// Basis-state index bit `q` corresponds to qubit `q` (little-endian), so
+/// the index of the classical string `|q_{n-1} … q_0⟩` is the usual binary
+/// value.
+///
+/// # Example
+///
+/// ```
+/// use qsim::State;
+/// use qcircuit::{Circuit, Gate};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::H(0));
+/// bell.push(Gate::Cx(0, 1));
+/// let mut s = State::zero(2);
+/// s.apply_circuit(&bell);
+/// let p = s.probabilities();
+/// assert!((p[0b00] - 0.5).abs() < 1e-12);
+/// assert!((p[0b11] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct State {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl State {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 26` (the dense representation would exceed memory).
+    pub fn zero(n: usize) -> State {
+        State::basis(n, 0)
+    }
+
+    /// The computational basis state with index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 26` or `idx >= 2^n`.
+    pub fn basis(n: usize, idx: u64) -> State {
+        assert!(n <= 26, "dense simulation limited to 26 qubits, got {n}");
+        let dim = 1usize << n;
+        assert!((idx as usize) < dim, "basis index {idx} out of range");
+        let mut amps = vec![C64::ZERO; dim];
+        amps[idx as usize] = C64::ONE;
+        State { n, amps }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitudes (length `2^n`).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a 2×2 unitary to qubit `q`.
+    pub fn apply_mat2(&mut self, q: usize, m: &Mat2) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i | bit];
+                self.amps[i] = m.m[0] * a0 + m.m[1] * a1;
+                self.amps[i | bit] = m.m[2] * a0 + m.m[3] * a1;
+            }
+        }
+    }
+
+    /// Applies one gate.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Cx(c, t) => {
+                let (cb, tb) = (1usize << c, 1usize << t);
+                for i in 0..self.amps.len() {
+                    if i & cb != 0 && i & tb == 0 {
+                        self.amps.swap(i, i | tb);
+                    }
+                }
+            }
+            Gate::Swap(a, b) => {
+                let (ab, bb) = (1usize << a, 1usize << b);
+                for i in 0..self.amps.len() {
+                    if i & ab != 0 && i & bb == 0 {
+                        self.amps.swap(i, (i & !ab) | bb);
+                    }
+                }
+            }
+            g => {
+                let (q, _) = g.qubits();
+                let m = g.matrix().expect("single-qubit gate");
+                self.apply_mat2(q, &m);
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit in order.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(circuit.num_qubits() <= self.n, "circuit wider than state");
+        for g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies the Pauli error `which ∈ {1=X, 2=Y, 3=Z}` to qubit `q`
+    /// (global phase of Y is dropped — irrelevant for sampling).
+    pub fn apply_pauli_error(&mut self, q: usize, which: u8) {
+        let bit = 1usize << q;
+        match which {
+            1 => {
+                for i in 0..self.amps.len() {
+                    if i & bit == 0 {
+                        self.amps.swap(i, i | bit);
+                    }
+                }
+            }
+            3 => {
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & bit != 0 {
+                        *a = -*a;
+                    }
+                }
+            }
+            2 => {
+                self.apply_pauli_error(q, 3);
+                self.apply_pauli_error(q, 1);
+            }
+            other => panic!("invalid pauli error code {other}"),
+        }
+    }
+
+    /// The measurement probability of every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Samples one measurement outcome.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let mut r: f64 = rng.gen::<f64>();
+        for (i, a) in self.amps.iter().enumerate() {
+            r -= a.norm_sqr();
+            if r <= 0.0 {
+                return i as u64;
+            }
+        }
+        (self.amps.len() - 1) as u64
+    }
+
+    /// The state's norm (should stay ≈ 1 under unitary evolution).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn x_flips_a_bit() {
+        let mut s = State::zero(2);
+        s.apply_gate(&Gate::X(1));
+        let p = s.probabilities();
+        assert!((p[0b10] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cx_acts_on_control_and_target() {
+        let mut s = State::basis(2, 0b01); // qubit 0 set
+        s.apply_gate(&Gate::Cx(0, 1));
+        assert!((s.probabilities()[0b11] - 1.0).abs() < TOL);
+        let mut s = State::basis(2, 0b10); // control clear
+        s.apply_gate(&Gate::Cx(0, 1));
+        assert!((s.probabilities()[0b10] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut s = State::basis(3, 0b001);
+        s.apply_gate(&Gate::Swap(0, 2));
+        assert!((s.probabilities()[0b100] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn ghz_state_probabilities() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(1, 2));
+        let mut s = State::zero(3);
+        s.apply_circuit(&c);
+        let p = s.probabilities();
+        assert!((p[0b000] - 0.5).abs() < TOL);
+        assert!((p[0b111] - 0.5).abs() < TOL);
+        assert!((s.norm() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn rz_is_diagonal_phase() {
+        let mut s = State::basis(1, 1);
+        s.apply_gate(&Gate::Rz(0, std::f64::consts::PI));
+        // |1⟩ picks up e^{iπ/2} = i; probability unchanged.
+        assert!((s.amplitudes()[1].im - 1.0).abs() < 1e-12);
+        assert!((s.probabilities()[1] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn pauli_errors_act_correctly() {
+        let mut s = State::zero(1);
+        s.apply_pauli_error(0, 1); // X
+        assert!((s.probabilities()[1] - 1.0).abs() < TOL);
+        s.apply_pauli_error(0, 3); // Z on |1⟩ = sign flip
+        assert!((s.amplitudes()[1].re + 1.0).abs() < TOL);
+        s.apply_pauli_error(0, 2); // Y (up to phase) flips back to |0⟩
+        assert!((s.probabilities()[0] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        let mut s = State::zero(1);
+        s.apply_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ones: usize = (0..4000).filter(|_| s.sample(&mut rng) == 1).count();
+        assert!((ones as f64 / 4000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let mut c = Circuit::new(3);
+        for g in [
+            Gate::H(0),
+            Gate::Ry(1, 0.7),
+            Gate::Cx(0, 2),
+            Gate::S(2),
+            Gate::Rx(1, -1.1),
+            Gate::Swap(0, 1),
+        ] {
+            c.push(g);
+        }
+        let mut s = State::basis(3, 0b101);
+        s.apply_circuit(&c);
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "26 qubits")]
+    fn rejects_oversized_states() {
+        State::zero(30);
+    }
+}

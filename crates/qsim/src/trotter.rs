@@ -1,0 +1,162 @@
+//! Exact `exp(iθP)` operators — the ground truth for compiled kernels.
+//!
+//! A Pauli string squares to the identity, so
+//! `exp(iθP) = cos(θ)·I + i·sin(θ)·P`, which lets us build the exact
+//! operator of a (scheduled) Trotter step and compare compiled circuits
+//! against it.
+
+use pauli::{Pauli, PauliString};
+use qcircuit::math::C64;
+
+use crate::unitary::{identity, matmul, Columns};
+
+/// The dense matrix of a Pauli string (as columns).
+///
+/// # Panics
+///
+/// Panics if the string has more than 12 qubits.
+pub fn pauli_matrix(p: &PauliString) -> Columns {
+    let n = p.num_qubits();
+    assert!(n <= 12, "dense pauli matrix limited to 12 qubits");
+    let dim = 1usize << n;
+    let mut flip = 0usize; // X or Y: bit flip
+    for q in 0..n {
+        if matches!(p.get(q), Pauli::X | Pauli::Y) {
+            flip |= 1 << q;
+        }
+    }
+    let mut cols = vec![vec![C64::ZERO; dim]; dim];
+    for j in 0..dim {
+        // P |j⟩ = phase · |j ^ flip⟩
+        let mut phase = C64::ONE;
+        for q in 0..n {
+            let bit = (j >> q) & 1;
+            match p.get(q) {
+                Pauli::I | Pauli::X => {}
+                Pauli::Z => {
+                    if bit == 1 {
+                        phase = -phase;
+                    }
+                }
+                Pauli::Y => {
+                    // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                    phase = if bit == 0 { phase * C64::I } else { phase * (-C64::I) };
+                }
+            }
+        }
+        cols[j][j ^ flip] = phase;
+    }
+    cols
+}
+
+/// The operator `exp(iθP) = cos(θ)·I + i·sin(θ)·P` (as columns).
+pub fn exp_pauli(p: &PauliString, theta: f64) -> Columns {
+    let dim = 1usize << p.num_qubits();
+    let pm = pauli_matrix(p);
+    let (c, s) = (theta.cos(), theta.sin());
+    let mut out = vec![vec![C64::ZERO; dim]; dim];
+    for j in 0..dim {
+        for i in 0..dim {
+            let mut v = pm[j][i].mul_i_pow(1) * s;
+            if i == j {
+                v += C64::real(c);
+            }
+            out[j][i] = v;
+        }
+    }
+    out
+}
+
+/// The operator of a sequence of exponentials applied in circuit order:
+/// the first `(P, θ)` acts first, so the matrix product is
+/// `exp(iθ_k P_k) ⋯ exp(iθ_1 P_1)`.
+pub fn exp_product<'a>(n: usize, terms: impl IntoIterator<Item = (&'a PauliString, f64)>) -> Columns {
+    let mut acc = identity(1 << n);
+    for (p, theta) in terms {
+        assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
+        acc = matmul(&exp_pauli(p, theta), &acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unitary::{circuit_unitary, equal_up_to_phase};
+    use qcircuit::{Circuit, Gate};
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn pauli_matrices_are_hermitian_and_square_to_identity() {
+        for s in ["X", "Y", "Z", "XY", "ZZY", "IXI"] {
+            let p = ps(s);
+            let m = pauli_matrix(&p);
+            let m2 = matmul(&m, &m);
+            assert!(equal_up_to_phase(&m2, &identity(m.len()), 1e-12), "{s}² ≠ I");
+            for j in 0..m.len() {
+                for i in 0..m.len() {
+                    let a = m[j][i];
+                    let b = m[i][j].conj();
+                    assert!((a - b).norm() < 1e-12, "{s} not hermitian");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exp_z_matches_rz_gate() {
+        // exp(iθZ) = Rz(−2θ) up to global phase.
+        let theta = 0.37;
+        let e = exp_pauli(&ps("Z"), theta);
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, -2.0 * theta));
+        assert!(equal_up_to_phase(&e, &circuit_unitary(&c), 1e-12));
+    }
+
+    #[test]
+    fn exp_x_matches_rx_gate() {
+        let theta = -0.81;
+        let e = exp_pauli(&ps("X"), theta);
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rx(0, -2.0 * theta));
+        assert!(equal_up_to_phase(&e, &circuit_unitary(&c), 1e-12));
+    }
+
+    #[test]
+    fn exp_zz_matches_cnot_rz_cnot_gadget() {
+        let theta = 0.59;
+        let e = exp_pauli(&ps("ZZ"), theta);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Rz(1, -2.0 * theta));
+        c.push(Gate::Cx(0, 1));
+        assert!(equal_up_to_phase(&e, &circuit_unitary(&c), 1e-12));
+    }
+
+    #[test]
+    fn exp_product_order_matters_for_noncommuting_terms() {
+        let a = ps("ZZ");
+        let b = ps("XI");
+        let ab = exp_product(2, [(&a, 0.5), (&b, 0.3)]);
+        let ba = exp_product(2, [(&b, 0.3), (&a, 0.5)]);
+        assert!(!equal_up_to_phase(&ab, &ba, 1e-9));
+    }
+
+    #[test]
+    fn exp_product_of_commuting_terms_is_order_free() {
+        let a = ps("ZZI");
+        let b = ps("IZZ");
+        let ab = exp_product(3, [(&a, 0.5), (&b, 0.3)]);
+        let ba = exp_product(3, [(&b, 0.3), (&a, 0.5)]);
+        assert!(equal_up_to_phase(&ab, &ba, 1e-12));
+    }
+
+    #[test]
+    fn exp_identity_string_is_global_phase() {
+        let e = exp_pauli(&PauliString::identity(2), 0.9);
+        assert!(equal_up_to_phase(&e, &identity(4), 1e-12));
+    }
+}

@@ -1,0 +1,240 @@
+//! Circuit unitaries and equivalence checking.
+//!
+//! The Pauli IR semantics (paper Fig. 7) licenses reordering blocks and
+//! strings; a compiled circuit is *correct* when it implements the product
+//! of `exp(iθP)` operators **in the scheduled order**. These helpers verify
+//! exactly that, up to a global phase — and, for routed (SC-backend)
+//! circuits, up to the tracked initial/final layout embedding.
+
+use qcircuit::math::C64;
+use qcircuit::Circuit;
+
+use crate::State;
+
+/// A dense complex matrix stored as columns (each a `2^n` vector).
+pub type Columns = Vec<Vec<C64>>;
+
+/// Builds the full unitary of `circuit` as columns.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 12 qubits (4096² entries) — this is
+/// a verification tool, not a simulator for large systems.
+pub fn circuit_unitary(circuit: &Circuit) -> Columns {
+    let n = circuit.num_qubits();
+    assert!(n <= 12, "unitary construction limited to 12 qubits");
+    let dim = 1usize << n;
+    (0..dim)
+        .map(|j| {
+            let mut s = State::basis(n, j as u64);
+            s.apply_circuit(circuit);
+            s.amplitudes().to_vec()
+        })
+        .collect()
+}
+
+/// Dense matrix product `a · b` (both as columns).
+pub fn matmul(a: &Columns, b: &Columns) -> Columns {
+    let dim = a.len();
+    assert_eq!(b.len(), dim, "dimension mismatch");
+    let mut out = vec![vec![C64::ZERO; dim]; dim];
+    for (j, bcol) in b.iter().enumerate() {
+        for (k, &bkj) in bcol.iter().enumerate() {
+            if bkj.norm_sqr() < 1e-30 {
+                continue;
+            }
+            let acol = &a[k];
+            for i in 0..dim {
+                let v = acol[i] * bkj;
+                out[j][i] += v;
+            }
+        }
+    }
+    out
+}
+
+/// The identity matrix of dimension `dim`.
+pub fn identity(dim: usize) -> Columns {
+    (0..dim)
+        .map(|j| {
+            let mut col = vec![C64::ZERO; dim];
+            col[j] = C64::ONE;
+            col
+        })
+        .collect()
+}
+
+/// Whether `a == e^{iφ} · b` for some global phase `φ`, within `tol`.
+pub fn equal_up_to_phase(a: &Columns, b: &Columns, tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut phase: Option<C64> = None;
+    for (ca, cb) in a.iter().zip(b) {
+        for (&ea, &eb) in ca.iter().zip(cb) {
+            match phase {
+                None => {
+                    if ea.norm() > tol.max(1e-6) || eb.norm() > tol.max(1e-6) {
+                        if ea.norm() < 1e-12 || eb.norm() < 1e-12 {
+                            return false;
+                        }
+                        phase = Some(ea / eb);
+                    }
+                }
+                Some(ph) => {
+                    if (ea - eb * ph).norm() > tol {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    match phase {
+        Some(ph) => (ph.norm() - 1.0).abs() < tol,
+        None => true, // both ≈ zero matrices
+    }
+}
+
+/// Verifies that a routed physical circuit implements a logical operator.
+///
+/// `u_logical` is the expected operator on the `k` logical qubits (as
+/// columns, dimension `2^k`). `initial[l]` / `final_[l]` give the physical
+/// position of logical `l` before/after the circuit. The check asserts
+///
+/// ```text
+///   C · embed_initial(|x⟩) = e^{iφ} · embed_final(U|x⟩)   for all basis x
+/// ```
+///
+/// with one consistent phase `φ`, where `embed` places logical bits at
+/// their physical positions and `|0⟩` elsewhere.
+pub fn routed_circuit_implements(
+    circuit: &Circuit,
+    u_logical: &Columns,
+    initial: &[usize],
+    final_: &[usize],
+    tol: f64,
+) -> bool {
+    let k = initial.len();
+    assert_eq!(final_.len(), k, "layout size mismatch");
+    assert_eq!(u_logical.len(), 1 << k, "logical operator dimension mismatch");
+    let n = circuit.num_qubits();
+    let embed = |x: usize, l2p: &[usize]| -> u64 {
+        let mut p = 0u64;
+        for (l, &pos) in l2p.iter().enumerate() {
+            if (x >> l) & 1 == 1 {
+                p |= 1 << pos;
+            }
+        }
+        p
+    };
+    let mut phase: Option<C64> = None;
+    for x in 0..(1usize << k) {
+        let mut s = State::basis(n, embed(x, initial));
+        s.apply_circuit(circuit);
+        let got = s.amplitudes();
+        // Expected: Σ_y u[x][y] |embed(y, final)⟩.
+        let mut expected = vec![C64::ZERO; 1 << n];
+        for (y, &amp) in u_logical[x].iter().enumerate() {
+            expected[embed(y, final_) as usize] += amp;
+        }
+        for (i, &e) in expected.iter().enumerate() {
+            let g = got[i];
+            match phase {
+                None => {
+                    if e.norm() > 1e-6 || g.norm() > 1e-6 {
+                        if e.norm() < 1e-12 || g.norm() < 1e-12 {
+                            return false;
+                        }
+                        phase = Some(g / e);
+                    }
+                }
+                Some(ph) => {
+                    if (g - e * ph).norm() > tol {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    phase.map_or(true, |ph| (ph.norm() - 1.0).abs() < tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+
+    #[test]
+    fn identity_circuit_gives_identity() {
+        let c = Circuit::new(2);
+        let u = circuit_unitary(&c);
+        assert!(equal_up_to_phase(&u, &identity(4), 1e-12));
+    }
+
+    #[test]
+    fn hh_equals_identity() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        c.push(Gate::H(0));
+        assert!(equal_up_to_phase(&circuit_unitary(&c), &identity(2), 1e-12));
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::Rz(0, 1.0));
+        let mut b = Circuit::new(1);
+        b.push(Gate::Rz(0, 1.0 + 2.0 * std::f64::consts::PI)); // −1 global phase
+        assert!(equal_up_to_phase(
+            &circuit_unitary(&a),
+            &circuit_unitary(&b),
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn different_operators_are_distinguished() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::H(0));
+        let mut b = Circuit::new(1);
+        b.push(Gate::X(0));
+        assert!(!equal_up_to_phase(&circuit_unitary(&a), &circuit_unitary(&b), 1e-10));
+    }
+
+    #[test]
+    fn matmul_against_composition() {
+        let mut ab = Circuit::new(2);
+        ab.push(Gate::H(0));
+        ab.push(Gate::Cx(0, 1));
+        let mut a = Circuit::new(2);
+        a.push(Gate::H(0));
+        let mut b = Circuit::new(2);
+        b.push(Gate::Cx(0, 1));
+        // Circuit order a-then-b means operator product U_b · U_a.
+        let prod = matmul(&circuit_unitary(&b), &circuit_unitary(&a));
+        assert!(equal_up_to_phase(&prod, &circuit_unitary(&ab), 1e-12));
+    }
+
+    #[test]
+    fn routed_identity_with_swap_permutation() {
+        // A bare SWAP implements the logical identity with a moved layout.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Swap(0, 2));
+        let u = identity(2); // one logical qubit
+        assert!(routed_circuit_implements(&c, &u, &[0], &[2], 1e-12));
+        assert!(!routed_circuit_implements(&c, &u, &[0], &[0], 1e-12));
+    }
+
+    #[test]
+    fn routed_cx_through_swap() {
+        // Logical CX(0,1) executed as SWAP then physical CX(1,2).
+        let mut c = Circuit::new(3);
+        c.push(Gate::Swap(0, 1));
+        c.push(Gate::Cx(1, 2));
+        // Logical unitary of CX(control=0, target=1), 2 logical qubits.
+        let mut logical = Circuit::new(2);
+        logical.push(Gate::Cx(0, 1));
+        let u = circuit_unitary(&logical);
+        assert!(routed_circuit_implements(&c, &u, &[0, 2], &[1, 2], 1e-12));
+    }
+}

@@ -1,0 +1,182 @@
+//! Seeded random graph generation for the QAOA benchmarks.
+
+use rand::rngs::StdRng;
+
+use rand::{Rng, SeedableRng};
+
+/// An undirected weighted graph.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of nodes.
+    pub n: usize,
+    /// Undirected weighted edges `(u, v, w)` with `u < v`.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// Builds a graph after validating the edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn new(n: usize, edges: Vec<(usize, usize, f64)>) -> Graph {
+        for &(u, v, _) in &edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            assert_ne!(u, v, "self-loop on {u}");
+        }
+        Graph { n, edges }
+    }
+
+    /// The degree sequence.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0; self.n];
+        for &(u, v, _) in &self.edges {
+            d[u] += 1;
+            d[v] += 1;
+        }
+        d
+    }
+}
+
+/// A random `d`-regular graph on `n` nodes, unit edge weights. Matches the
+/// paper's `REG-n-d` family.
+///
+/// Construction: a circulant `d`-regular graph randomized by double-edge
+/// swaps (each swap preserves the degree sequence), which works at any
+/// density — the configuration model's rejection rate explodes for
+/// `REG-20-12`.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Circulant seed graph: chords ±1..±d/2, plus the antipodal chord for
+    // odd d (n is even then, since n·d is even).
+    let mut set = std::collections::HashSet::<(usize, usize)>::new();
+    let key = |a: usize, b: usize| (a.min(b), a.max(b));
+    for i in 0..n {
+        for k in 1..=d / 2 {
+            set.insert(key(i, (i + k) % n));
+        }
+    }
+    if d % 2 == 1 {
+        for i in 0..n / 2 {
+            set.insert(key(i, i + n / 2));
+        }
+    }
+    let mut edges: Vec<(usize, usize)> = set.iter().copied().collect();
+    edges.sort_unstable();
+    // Randomize with double-edge swaps: (a,b),(c,e) → (a,c),(b,e).
+    let attempts = 20 * edges.len();
+    for _ in 0..attempts {
+        let i = rng.gen_range(0..edges.len());
+        let j = rng.gen_range(0..edges.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, e) = edges[j];
+        if a == c || a == e || b == c || b == e {
+            continue;
+        }
+        let (n1, n2) = (key(a, c), key(b, e));
+        if set.contains(&n1) || set.contains(&n2) {
+            continue;
+        }
+        set.remove(&key(a, b));
+        set.remove(&key(c, e));
+        set.insert(n1);
+        set.insert(n2);
+        edges[i] = n1;
+        edges[j] = n2;
+    }
+    Graph::new(n, edges.into_iter().map(|(u, v)| (u, v, 1.0)).collect())
+}
+
+/// An Erdős–Rényi graph `G(n, p)`, unit edge weights. Matches `Rand-n-p`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen::<f64>() < p {
+                edges.push((u, v, 1.0));
+            }
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// Random symmetric city distances for the TSP benchmarks.
+pub fn random_distances(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let w = 0.1 + rng.gen::<f64>();
+            d[i][j] = w;
+            d[j][i] = w;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graphs_are_regular_and_simple() {
+        for (n, d, seed) in [(20, 4, 1), (20, 8, 2), (20, 12, 3), (7, 4, 4)] {
+            let g = random_regular(n, d, seed);
+            assert!(g.degrees().iter().all(|&x| x == d), "n={n} d={d}");
+            assert_eq!(g.edges.len(), n * d / 2);
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v, _) in &g.edges {
+                assert!(u < v);
+                assert!(seen.insert((u, v)), "duplicate edge");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_graphs_are_seed_deterministic() {
+        let a = random_regular(20, 4, 7);
+        let b = random_regular(20, 4, 7);
+        assert_eq!(a.edges, b.edges);
+        let c = random_regular(20, 4, 8);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_tracks_p() {
+        let g = erdos_renyi(20, 0.3, 42);
+        let expected = (190.0 * 0.3) as usize;
+        assert!(g.edges.len().abs_diff(expected) < 25);
+        assert!(erdos_renyi(20, 0.0, 1).edges.is_empty());
+        assert_eq!(erdos_renyi(10, 1.0, 1).edges.len(), 45);
+    }
+
+    #[test]
+    fn distances_are_symmetric_positive() {
+        let d = random_distances(5, 9);
+        for i in 0..5 {
+            assert_eq!(d[i][i], 0.0);
+            for j in 0..5 {
+                assert_eq!(d[i][j], d[j][i]);
+                if i != j {
+                    assert!(d[i][j] > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_stub_count_rejected() {
+        random_regular(5, 3, 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Jordan–Wigner transformation of fermionic operators.
+//!
+//! Under JW, the annihilation operator on mode `p` maps to
+//! `a_p = ½(X_p + iY_p) · Z_{p−1} ⋯ Z_0`. Products of such operators are
+//! complex-weighted Pauli sums; Hermitian/anti-Hermitian combinations of
+//! excitation operators yield the real-weighted Pauli strings that UCCSD
+//! blocks and molecular Hamiltonians are made of.
+
+use std::collections::HashMap;
+
+use pauli::{Pauli, PauliString, PauliTerm};
+
+/// A complex-weighted sum of Pauli strings.
+#[derive(Clone, Debug)]
+pub struct PauliSum {
+    n: usize,
+    /// string → (re, im) coefficient.
+    terms: HashMap<PauliString, (f64, f64)>,
+}
+
+impl PauliSum {
+    /// The zero operator on `n` qubits.
+    pub fn zero(n: usize) -> PauliSum {
+        PauliSum { n, terms: HashMap::new() }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `(re + i·im) · P`.
+    pub fn add_term(&mut self, string: PauliString, re: f64, im: f64) {
+        assert_eq!(string.num_qubits(), self.n, "qubit count mismatch");
+        let e = self.terms.entry(string).or_insert((0.0, 0.0));
+        e.0 += re;
+        e.1 += im;
+    }
+
+    /// Adds `scale · other` into `self`.
+    pub fn add_scaled(&mut self, other: &PauliSum, re: f64, im: f64) {
+        for (s, &(a, b)) in &other.terms {
+            // (a+ib)(re+i·im)
+            self.add_term(s.clone(), a * re - b * im, a * im + b * re);
+        }
+    }
+
+    /// Operator product `self · other`, tracking all phases.
+    pub fn mul(&self, other: &PauliSum) -> PauliSum {
+        let mut out = PauliSum::zero(self.n);
+        for (sa, &(ra, ia)) in &self.terms {
+            for (sb, &(rb, ib)) in &other.terms {
+                let (prod, k) = sa.mul(sb);
+                // coefficient: (ra+i·ia)(rb+i·ib) · i^k
+                let (mut re, mut im) = (ra * rb - ia * ib, ra * ib + ia * rb);
+                for _ in 0..k {
+                    let t = re;
+                    re = -im;
+                    im = t;
+                }
+                out.add_term(prod, re, im);
+            }
+        }
+        out
+    }
+
+    /// The Hermitian conjugate (Pauli strings are Hermitian, so only the
+    /// coefficients conjugate).
+    pub fn dagger(&self) -> PauliSum {
+        let mut out = PauliSum::zero(self.n);
+        for (s, &(re, im)) in &self.terms {
+            out.add_term(s.clone(), re, -im);
+        }
+        out
+    }
+
+    /// Extracts the real-weighted Pauli terms, dropping negligible ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any surviving coefficient has an imaginary part above
+    /// `1e-9` — i.e. the operator was not Hermitian.
+    pub fn hermitian_terms(&self, eps: f64) -> Vec<PauliTerm> {
+        let mut out: Vec<PauliTerm> = Vec::new();
+        for (s, &(re, im)) in &self.terms {
+            if re.abs() < eps && im.abs() < eps {
+                continue;
+            }
+            assert!(im.abs() < 1e-9, "non-hermitian coefficient {im} on {s}");
+            out.push(PauliTerm::new(s.clone(), re));
+        }
+        // Deterministic order for reproducible benchmarks.
+        out.sort_by(|a, b| a.string.lex_cmp(&b.string));
+        out
+    }
+}
+
+/// The JW annihilation operator `a_p` on an `n`-mode register.
+pub fn annihilation(n: usize, p: usize) -> PauliSum {
+    assert!(p < n, "mode {p} out of range");
+    let mut x_part = PauliString::identity(n);
+    let mut y_part = PauliString::identity(n);
+    for q in 0..p {
+        x_part.set(q, Pauli::Z);
+        y_part.set(q, Pauli::Z);
+    }
+    x_part.set(p, Pauli::X);
+    y_part.set(p, Pauli::Y);
+    let mut sum = PauliSum::zero(n);
+    sum.add_term(x_part, 0.5, 0.0);
+    sum.add_term(y_part, 0.0, 0.5);
+    sum
+}
+
+/// The JW creation operator `a†_p`.
+pub fn creation(n: usize, p: usize) -> PauliSum {
+    annihilation(n, p).dagger()
+}
+
+/// The Hermitian generator `H = −i(T − T†)` of the single excitation
+/// `T = a†_a a_i`, as real-weighted Pauli terms (2 strings, weights ±½).
+pub fn single_excitation(n: usize, i: usize, a: usize) -> Vec<PauliTerm> {
+    assert_ne!(i, a, "excitation needs distinct modes");
+    let t = creation(n, a).mul(&annihilation(n, i));
+    let mut g = PauliSum::zero(n);
+    g.add_scaled(&t, 0.0, -1.0); // −i·T
+    g.add_scaled(&t.dagger(), 0.0, 1.0); // +i·T†
+    g.hermitian_terms(1e-12)
+}
+
+/// The Hermitian generator of the double excitation
+/// `T = a†_a a†_b a_j a_i` (8 strings, weights ±⅛).
+pub fn double_excitation(n: usize, i: usize, j: usize, a: usize, b: usize) -> Vec<PauliTerm> {
+    let idx = [i, j, a, b];
+    assert!(
+        (1..4).all(|k| !idx[..k].contains(&idx[k])),
+        "excitation needs distinct modes"
+    );
+    let t = creation(n, a)
+        .mul(&creation(n, b))
+        .mul(&annihilation(n, j))
+        .mul(&annihilation(n, i));
+    let mut g = PauliSum::zero(n);
+    g.add_scaled(&t, 0.0, -1.0);
+    g.add_scaled(&t.dagger(), 0.0, 1.0);
+    g.hermitian_terms(1e-12)
+}
+
+/// The Hermitian one-body term `c·(a†_p a_q + a†_q a_p)` (for `p == q`,
+/// the number operator `c·a†_p a_p`).
+pub fn one_body(n: usize, p: usize, q: usize, c: f64) -> Vec<PauliTerm> {
+    let t = creation(n, p).mul(&annihilation(n, q));
+    let mut g = PauliSum::zero(n);
+    if p == q {
+        g.add_scaled(&t, c, 0.0);
+    } else {
+        g.add_scaled(&t, c, 0.0);
+        g.add_scaled(&t.dagger(), c, 0.0);
+    }
+    g.hermitian_terms(1e-12)
+}
+
+/// The Hermitian two-body term `c·(a†_p a†_q a_r a_s + h.c.)`.
+pub fn two_body(n: usize, p: usize, q: usize, r: usize, s: usize, c: f64) -> Vec<PauliTerm> {
+    let t = creation(n, p)
+        .mul(&creation(n, q))
+        .mul(&annihilation(n, r))
+        .mul(&annihilation(n, s));
+    let mut g = PauliSum::zero(n);
+    g.add_scaled(&t, c, 0.0);
+    g.add_scaled(&t.dagger(), c, 0.0);
+    g.hermitian_terms(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annihilation_has_z_chain() {
+        let a2 = annihilation(4, 2);
+        let terms: Vec<String> = a2
+            .terms
+            .keys()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(terms.len(), 2);
+        assert!(terms.contains(&"IXZZ".to_string()), "{terms:?}");
+        assert!(terms.contains(&"IYZZ".to_string()));
+    }
+
+    #[test]
+    fn canonical_anticommutation_relation() {
+        // {a_p, a†_p} = 1.
+        let n = 3;
+        for p in 0..n {
+            let a = annihilation(n, p);
+            let ad = creation(n, p);
+            let mut anti = a.mul(&ad);
+            anti.add_scaled(&ad.mul(&a), 1.0, 0.0);
+            let terms = anti.hermitian_terms(1e-12);
+            assert_eq!(terms.len(), 1);
+            assert!(terms[0].string.is_identity());
+            assert!((terms[0].weight - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distinct_modes_anticommute() {
+        // {a_0, a_1} = 0.
+        let a0 = annihilation(3, 0);
+        let a1 = annihilation(3, 1);
+        let mut anti = a0.mul(&a1);
+        anti.add_scaled(&a1.mul(&a0), 1.0, 0.0);
+        assert!(anti.hermitian_terms(1e-12).is_empty());
+    }
+
+    #[test]
+    fn single_excitation_is_the_xy_pair() {
+        // Adjacent modes: the Fig. 6(b) pattern (IIXY, ±0.5).
+        let terms = single_excitation(4, 0, 1);
+        assert_eq!(terms.len(), 2);
+        let strs: Vec<String> = terms.iter().map(|t| t.string.to_string()).collect();
+        assert!(strs.contains(&"IIXY".to_string()), "{strs:?}");
+        assert!(strs.contains(&"IIYX".to_string()));
+        assert!(terms.iter().all(|t| t.weight.abs() == 0.5));
+        let total: f64 = terms.iter().map(|t| t.weight).sum();
+        assert!(total.abs() < 1e-12, "weights come in a ± pair");
+    }
+
+    #[test]
+    fn distant_single_excitation_has_z_chain() {
+        let terms = single_excitation(5, 0, 3);
+        for t in &terms {
+            assert_eq!(t.string.get(1), Pauli::Z);
+            assert_eq!(t.string.get(2), Pauli::Z);
+        }
+    }
+
+    #[test]
+    fn double_excitation_has_eight_eighth_weight_strings() {
+        let terms = double_excitation(4, 0, 1, 2, 3);
+        assert_eq!(terms.len(), 8);
+        assert!(terms.iter().all(|t| (t.weight.abs() - 0.125).abs() < 1e-12));
+        // Each string has X/Y on all four modes (adjacent: no Z chain).
+        for t in &terms {
+            for q in 0..4 {
+                assert!(matches!(t.string.get(q), Pauli::X | Pauli::Y));
+            }
+        }
+    }
+
+    #[test]
+    fn number_operator_is_diagonal() {
+        let terms = one_body(3, 1, 1, 2.0);
+        // a†a = (I − Z)/2 → identity (weight 1) + Z (weight −1).
+        assert_eq!(terms.len(), 2);
+        for t in &terms {
+            assert!(t.string.is_identity() || t.string.get(1) == Pauli::Z);
+        }
+    }
+
+    #[test]
+    fn one_body_offdiagonal_is_xx_plus_yy() {
+        let terms = one_body(3, 0, 1, 1.0);
+        assert_eq!(terms.len(), 2);
+        let strs: Vec<String> = terms.iter().map(|t| t.string.to_string()).collect();
+        assert!(strs.contains(&"IXX".to_string()));
+        assert!(strs.contains(&"IYY".to_string()));
+    }
+
+    #[test]
+    fn two_body_density_density_is_z_type() {
+        // a†_p a†_q a_q a_p = n_p n_q → I, Z_p, Z_q, Z_pZ_q.
+        let terms = two_body(3, 0, 1, 1, 0, 1.0);
+        assert_eq!(terms.len(), 4);
+        assert!(terms
+            .iter()
+            .all(|t| t.string.iter().all(|p| matches!(p, Pauli::I | Pauli::Z))));
+    }
+}

@@ -1,0 +1,144 @@
+//! QAOA benchmark programs: MaxCut cost kernels and TSP Ising encodings.
+
+use pauli::{Pauli, PauliString, PauliTerm};
+use paulihedral::ir::{Parameter, PauliIR};
+
+use crate::graphs::Graph;
+
+/// The MaxCut cost kernel of a graph as one Pauli block (Fig. 6(c)): one
+/// `ZZ` string of weight `w` per edge, all sharing the parameter `γ`.
+pub fn maxcut_ir(graph: &Graph, gamma: f64) -> PauliIR {
+    let terms: Vec<PauliTerm> = graph
+        .edges
+        .iter()
+        .map(|&(u, v, w)| {
+            let mut s = PauliString::identity(graph.n);
+            s.set(u, Pauli::Z);
+            s.set(v, Pauli::Z);
+            PauliTerm::new(s, w)
+        })
+        .collect();
+    PauliIR::single_block(graph.n, terms, Parameter::named("gamma", gamma))
+}
+
+/// The TSP QAOA cost kernel on `n` cities: `n²` qubits `x_{i,t}` (city `i`
+/// at tour position `t`), one-hot penalties plus distance couplings,
+/// converted from QUBO to Ising (`x = (1 − z)/2`). For `n = 4` this yields
+/// the 112 strings of Table 1 (96 `ZZ` + 16 `Z`).
+pub fn tsp_ir(n: usize, distances: &[Vec<f64>], gamma: f64, penalty: f64) -> PauliIR {
+    assert!(n >= 2, "TSP needs at least two cities");
+    assert_eq!(distances.len(), n, "distance matrix size mismatch");
+    let nq = n * n;
+    let q = |city: usize, time: usize| city * n + time;
+    // QUBO accumulation: quad[(a,b)] x_a x_b + lin[a] x_a  (a < b).
+    let mut quad = std::collections::HashMap::<(usize, usize), f64>::new();
+    let mut lin = vec![0.0f64; nq];
+    let mut add_quad = |a: usize, b: usize, w: f64, lin: &mut Vec<f64>| {
+        if a == b {
+            lin[a] += w; // x² = x for binaries
+        } else {
+            *quad.entry((a.min(b), a.max(b))).or_insert(0.0) += w;
+        }
+    };
+    // One-hot rows: (1 − Σ_i x_{i,t})² and (1 − Σ_t x_{i,t})².
+    for t in 0..n {
+        for i in 0..n {
+            add_quad(q(i, t), q(i, t), -penalty, &mut lin);
+            for j in i + 1..n {
+                add_quad(q(i, t), q(j, t), 2.0 * penalty, &mut lin);
+            }
+        }
+    }
+    for i in 0..n {
+        for t in 0..n {
+            add_quad(q(i, t), q(i, t), -penalty, &mut lin);
+            for u in t + 1..n {
+                add_quad(q(i, t), q(i, u), 2.0 * penalty, &mut lin);
+            }
+        }
+    }
+    // Tour distances: d_ij · x_{i,t} x_{j,t+1} (cyclic).
+    for t in 0..n {
+        let tn = (t + 1) % n;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    add_quad(q(i, t), q(j, tn), distances[i][j], &mut lin);
+                }
+            }
+        }
+    }
+    // QUBO → Ising: x = (1 − z)/2. Constant terms are dropped; x_a x_b
+    // contributes z_a z_b/4 and −z_a/4 − z_b/4; x_a contributes −z_a/2.
+    let mut z_coeff = vec![0.0f64; nq];
+    let mut terms: Vec<PauliTerm> = Vec::new();
+    for (&(a, b), &w) in &quad {
+        let mut s = PauliString::identity(nq);
+        s.set(a, Pauli::Z);
+        s.set(b, Pauli::Z);
+        terms.push(PauliTerm::new(s, w / 4.0));
+        z_coeff[a] -= w / 4.0;
+        z_coeff[b] -= w / 4.0;
+    }
+    for (a, &w) in lin.iter().enumerate() {
+        z_coeff[a] -= w / 2.0;
+    }
+    for (a, &c) in z_coeff.iter().enumerate() {
+        if c.abs() > 1e-12 {
+            let mut s = PauliString::identity(nq);
+            s.set(a, Pauli::Z);
+            terms.push(PauliTerm::new(s, c));
+        }
+    }
+    terms.sort_by(|x, y| x.string.lex_cmp(&y.string));
+    PauliIR::single_block(nq, terms, Parameter::named("gamma", gamma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs;
+
+    #[test]
+    fn maxcut_matches_table1_reg_counts() {
+        // REG-20-4: 40 edges → 40 strings, naive 80 CNOT / 40 single.
+        let g = graphs::random_regular(20, 4, 1);
+        let ir = maxcut_ir(&g, 0.5);
+        assert_eq!(ir.num_qubits(), 20);
+        assert_eq!(ir.num_blocks(), 1);
+        assert_eq!(ir.total_strings(), 40);
+    }
+
+    #[test]
+    fn maxcut_strings_are_weighted_zz() {
+        let g = Graph::new(3, vec![(0, 1, 0.7), (1, 2, 0.3)]);
+        let ir = maxcut_ir(&g, 1.0);
+        for t in &ir.blocks()[0].terms {
+            assert_eq!(t.string.weight(), 2);
+        }
+        assert_eq!(ir.blocks()[0].terms[0].weight, 0.7);
+    }
+
+    #[test]
+    fn tsp4_matches_table1_counts() {
+        // TSP-4: 16 qubits, 112 strings (96 ZZ → 192 CNOT, 112 Rz).
+        let d = graphs::random_distances(4, 3);
+        let ir = tsp_ir(4, &d, 0.4, 10.0);
+        assert_eq!(ir.num_qubits(), 16);
+        assert_eq!(ir.total_strings(), 112);
+        let zz = ir.blocks()[0]
+            .terms
+            .iter()
+            .filter(|t| t.string.weight() == 2)
+            .count();
+        assert_eq!(zz, 96);
+    }
+
+    #[test]
+    fn tsp5_matches_table1_counts() {
+        let d = graphs::random_distances(5, 4);
+        let ir = tsp_ir(5, &d, 0.4, 10.0);
+        assert_eq!(ir.num_qubits(), 25);
+        assert_eq!(ir.total_strings(), 225);
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's random-Hamiltonian recipe (§6.1):
+//!
+//! > For a Hamiltonian of n qubits, we prepare 5n² Pauli strings. In each
+//! > Pauli string, we first randomly select one integer m between 1 and n.
+//! > Then we randomly select m qubits and assign random Pauli operators to
+//! > them.
+
+use pauli::{Pauli, PauliString, PauliTerm};
+use paulihedral::ir::PauliIR;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates `Rand-n`: `5n²` random strings with random weights in
+/// `[-1, 1]`, in Hamiltonian-simulation form.
+pub fn random_hamiltonian_ir(n: usize, dt: f64, seed: u64) -> PauliIR {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = 5 * n * n;
+    let mut terms = Vec::with_capacity(count);
+    let mut qubits: Vec<usize> = (0..n).collect();
+    for _ in 0..count {
+        let m = rng.gen_range(1..=n);
+        qubits.shuffle(&mut rng);
+        let mut s = PauliString::identity(n);
+        for &q in &qubits[..m] {
+            let p = match rng.gen_range(0..3) {
+                0 => Pauli::X,
+                1 => Pauli::Y,
+                _ => Pauli::Z,
+            };
+            s.set(q, p);
+        }
+        let w: f64 = rng.gen_range(-1.0..1.0);
+        terms.push(PauliTerm::new(s, if w == 0.0 { 0.5 } else { w }));
+    }
+    PauliIR::from_hamiltonian(n, terms, dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_recipe() {
+        let ir = random_hamiltonian_ir(10, 0.1, 1);
+        assert_eq!(ir.total_strings(), 500);
+        assert_eq!(ir.num_qubits(), 10);
+    }
+
+    #[test]
+    fn weights_span_the_whole_register() {
+        let ir = random_hamiltonian_ir(12, 0.1, 2);
+        let weights: Vec<usize> = ir
+            .blocks()
+            .iter()
+            .map(|b| b.terms[0].string.weight())
+            .collect();
+        assert!(weights.iter().any(|&w| w <= 2));
+        assert!(weights.iter().any(|&w| w >= 10));
+        assert!(weights.iter().all(|&w| (1..=12).contains(&w)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_hamiltonian_ir(8, 0.1, 5);
+        let b = random_hamiltonian_ir(8, 0.1, 5);
+        assert_eq!(a, b);
+        let c = random_hamiltonian_ir(8, 0.1, 6);
+        assert_ne!(a, c);
+    }
+}

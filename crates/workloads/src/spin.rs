@@ -1,0 +1,117 @@
+//! Ising and Heisenberg spin models on 1D/2D/3D lattices.
+//!
+//! The Table 1 configurations are 30-qubit lattices: a 30-site chain, a
+//! 5×6 grid (49 edges) and a 2×3×5 cuboid (59 edges).
+
+use pauli::{Pauli, PauliString, PauliTerm};
+use paulihedral::ir::PauliIR;
+
+/// The edge list of a `dims`-dimensional cuboid lattice (open boundaries).
+pub fn lattice_edges(dims: &[usize]) -> Vec<(usize, usize)> {
+    let n: usize = dims.iter().product();
+    assert!(n > 0, "lattice must be non-empty");
+    let index = |coord: &[usize]| -> usize {
+        let mut idx = 0;
+        for (d, &c) in coord.iter().enumerate() {
+            idx = idx * dims[d] + c;
+        }
+        idx
+    };
+    let mut edges = Vec::new();
+    let mut coord = vec![0usize; dims.len()];
+    loop {
+        for d in 0..dims.len() {
+            if coord[d] + 1 < dims[d] {
+                let mut next = coord.clone();
+                next[d] += 1;
+                edges.push((index(&coord), index(&next)));
+            }
+        }
+        // Odometer increment.
+        let mut d = dims.len();
+        loop {
+            if d == 0 {
+                return edges;
+            }
+            d -= 1;
+            coord[d] += 1;
+            if coord[d] < dims[d] {
+                break;
+            }
+            coord[d] = 0;
+        }
+    }
+}
+
+fn two_site(n: usize, a: usize, b: usize, p: Pauli, w: f64) -> PauliTerm {
+    let mut s = PauliString::identity(n);
+    s.set(a, p);
+    s.set(b, p);
+    PauliTerm::new(s, w)
+}
+
+/// A transverse-free Ising model `Σ_⟨ab⟩ J·Z_a Z_b` in Hamiltonian-
+/// simulation form (one block per term, shared Trotter step `dt`).
+pub fn ising_ir(dims: &[usize], j: f64, dt: f64) -> PauliIR {
+    let n: usize = dims.iter().product();
+    let terms: Vec<PauliTerm> = lattice_edges(dims)
+        .into_iter()
+        .map(|(a, b)| two_site(n, a, b, Pauli::Z, j))
+        .collect();
+    PauliIR::from_hamiltonian(n, terms, dt)
+}
+
+/// An isotropic Heisenberg model `Σ_⟨ab⟩ J·(X_aX_b + Y_aY_b + Z_aZ_b)`.
+pub fn heisenberg_ir(dims: &[usize], j: f64, dt: f64) -> PauliIR {
+    let n: usize = dims.iter().product();
+    let mut terms = Vec::new();
+    for (a, b) in lattice_edges(dims) {
+        for p in [Pauli::X, Pauli::Y, Pauli::Z] {
+            terms.push(two_site(n, a, b, p, j));
+        }
+    }
+    PauliIR::from_hamiltonian(n, terms, dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_edge_counts_match_table1() {
+        assert_eq!(lattice_edges(&[30]).len(), 29); // Ising-1D
+        assert_eq!(lattice_edges(&[5, 6]).len(), 49); // Ising-2D
+        assert_eq!(lattice_edges(&[2, 3, 5]).len(), 59); // Ising-3D
+    }
+
+    #[test]
+    fn ising_program_shape() {
+        let ir = ising_ir(&[30], 1.0, 0.1);
+        assert_eq!(ir.num_qubits(), 30);
+        assert_eq!(ir.total_strings(), 29);
+        assert_eq!(ir.num_blocks(), 29);
+        assert!(ir
+            .blocks()
+            .iter()
+            .all(|b| b.terms[0].string.weight() == 2));
+    }
+
+    #[test]
+    fn heisenberg_counts_match_table1() {
+        let ir = heisenberg_ir(&[30], 1.0, 0.1);
+        assert_eq!(ir.total_strings(), 87); // 29 edges × 3
+        let ir2 = heisenberg_ir(&[5, 6], 1.0, 0.1);
+        assert_eq!(ir2.total_strings(), 147);
+        let ir3 = heisenberg_ir(&[2, 3, 5], 1.0, 0.1);
+        assert_eq!(ir3.total_strings(), 177);
+    }
+
+    #[test]
+    fn lattice_edges_are_valid() {
+        let dims = [3, 4];
+        let n: usize = dims.iter().product();
+        for (a, b) in lattice_edges(&dims) {
+            assert!(a < n && b < n && a != b);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The named benchmark suite of Table 1.
+
+use paulihedral::ir::PauliIR;
+
+use crate::{graphs, molecule, qaoa, random, spin, uccsd};
+
+/// Which backend a benchmark targets in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendClass {
+    /// Near-term superconducting backend (mapped to IBM Manhattan-65).
+    Superconducting,
+    /// Fault-tolerant backend (no mapping).
+    FaultTolerant,
+}
+
+/// A generated benchmark.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Table 1 name, e.g. `UCCSD-16` or `Ising-2D`.
+    pub name: String,
+    /// Backend class.
+    pub class: BackendClass,
+    /// The program.
+    pub ir: PauliIR,
+}
+
+/// The 14 SC-backend benchmark names of Table 1.
+pub const SC_NAMES: [&str; 14] = [
+    "UCCSD-8",
+    "UCCSD-12",
+    "UCCSD-16",
+    "UCCSD-20",
+    "UCCSD-24",
+    "UCCSD-28",
+    "REG-20-4",
+    "REG-20-8",
+    "REG-20-12",
+    "Rand-20-0.1",
+    "Rand-20-0.3",
+    "Rand-20-0.5",
+    "TSP-4",
+    "TSP-5",
+];
+
+/// The 17 FT-backend benchmark names of Table 1.
+pub const FT_NAMES: [&str; 17] = [
+    "Ising-1D",
+    "Ising-2D",
+    "Ising-3D",
+    "Heisen-1D",
+    "Heisen-2D",
+    "Heisen-3D",
+    "N2",
+    "H2S",
+    "MgO",
+    "CO2",
+    "NaCl",
+    "Rand-30",
+    "Rand-40",
+    "Rand-50",
+    "Rand-60",
+    "Rand-70",
+    "Rand-80",
+];
+
+/// All 31 benchmark names in Table 1 order.
+pub fn all_names() -> Vec<&'static str> {
+    SC_NAMES.iter().chain(FT_NAMES.iter()).copied().collect()
+}
+
+/// Generates a named benchmark (deterministic: fixed seeds per name).
+///
+/// # Panics
+///
+/// Panics if the name is not in Table 1.
+pub fn generate(name: &str) -> Benchmark {
+    let (class, ir) = match name {
+        "UCCSD-8" => (BackendClass::Superconducting, uccsd::uccsd_ir(8, 8)),
+        "UCCSD-12" => (BackendClass::Superconducting, uccsd::uccsd_ir(12, 12)),
+        "UCCSD-16" => (BackendClass::Superconducting, uccsd::uccsd_ir(16, 16)),
+        "UCCSD-20" => (BackendClass::Superconducting, uccsd::uccsd_ir(20, 20)),
+        "UCCSD-24" => (BackendClass::Superconducting, uccsd::uccsd_ir(24, 24)),
+        "UCCSD-28" => (BackendClass::Superconducting, uccsd::uccsd_ir(28, 28)),
+        "REG-20-4" => (
+            BackendClass::Superconducting,
+            qaoa::maxcut_ir(&graphs::random_regular(20, 4, 204), 0.4),
+        ),
+        "REG-20-8" => (
+            BackendClass::Superconducting,
+            qaoa::maxcut_ir(&graphs::random_regular(20, 8, 208), 0.4),
+        ),
+        "REG-20-12" => (
+            BackendClass::Superconducting,
+            qaoa::maxcut_ir(&graphs::random_regular(20, 12, 212), 0.4),
+        ),
+        "Rand-20-0.1" => (
+            BackendClass::Superconducting,
+            qaoa::maxcut_ir(&graphs::erdos_renyi(20, 0.1, 2001), 0.4),
+        ),
+        "Rand-20-0.3" => (
+            BackendClass::Superconducting,
+            qaoa::maxcut_ir(&graphs::erdos_renyi(20, 0.3, 2003), 0.4),
+        ),
+        "Rand-20-0.5" => (
+            BackendClass::Superconducting,
+            qaoa::maxcut_ir(&graphs::erdos_renyi(20, 0.5, 2005), 0.4),
+        ),
+        "TSP-4" => (
+            BackendClass::Superconducting,
+            qaoa::tsp_ir(4, &graphs::random_distances(4, 44), 0.4, 10.0),
+        ),
+        "TSP-5" => (
+            BackendClass::Superconducting,
+            qaoa::tsp_ir(5, &graphs::random_distances(5, 55), 0.4, 10.0),
+        ),
+        "Ising-1D" => (BackendClass::FaultTolerant, spin::ising_ir(&[30], 1.0, 0.1)),
+        "Ising-2D" => (BackendClass::FaultTolerant, spin::ising_ir(&[5, 6], 1.0, 0.1)),
+        "Ising-3D" => (BackendClass::FaultTolerant, spin::ising_ir(&[2, 3, 5], 1.0, 0.1)),
+        "Heisen-1D" => (BackendClass::FaultTolerant, spin::heisenberg_ir(&[30], 1.0, 0.1)),
+        "Heisen-2D" => (BackendClass::FaultTolerant, spin::heisenberg_ir(&[5, 6], 1.0, 0.1)),
+        "Heisen-3D" => (
+            BackendClass::FaultTolerant,
+            spin::heisenberg_ir(&[2, 3, 5], 1.0, 0.1),
+        ),
+        "N2" | "H2S" | "MgO" | "CO2" | "NaCl" => (
+            BackendClass::FaultTolerant,
+            molecule::named_molecule_ir(name, 1.0),
+        ),
+        "Rand-30" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(30, 0.1, 30)),
+        "Rand-40" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(40, 0.1, 40)),
+        "Rand-50" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(50, 0.1, 50)),
+        "Rand-60" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(60, 0.1, 60)),
+        "Rand-70" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(70, 0.1, 70)),
+        "Rand-80" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(80, 0.1, 80)),
+        other => panic!("unknown benchmark `{other}`"),
+    };
+    Benchmark { name: name.to_string(), class, ir }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_31_benchmarks() {
+        assert_eq!(all_names().len(), 31);
+    }
+
+    #[test]
+    fn qaoa_and_spin_benchmarks_match_table1_exactly() {
+        for (name, qubits, strings) in [
+            ("REG-20-4", 20, 40),
+            ("REG-20-8", 20, 80),
+            ("REG-20-12", 20, 120),
+            ("TSP-4", 16, 112),
+            ("TSP-5", 25, 225),
+            ("Ising-1D", 30, 29),
+            ("Ising-2D", 30, 49),
+            ("Ising-3D", 30, 59),
+            ("Heisen-1D", 30, 87),
+            ("Heisen-2D", 30, 147),
+            ("Heisen-3D", 30, 177),
+        ] {
+            let b = generate(name);
+            assert_eq!(b.ir.num_qubits(), qubits, "{name}");
+            assert_eq!(b.ir.total_strings(), strings, "{name}");
+        }
+    }
+
+    #[test]
+    fn random_benchmarks_follow_recipe() {
+        let b = generate("Rand-30");
+        assert_eq!(b.ir.total_strings(), 4500);
+        assert_eq!(b.class, BackendClass::FaultTolerant);
+    }
+
+    #[test]
+    fn erdos_renyi_benchmarks_are_near_expected_density() {
+        let b = generate("Rand-20-0.3");
+        let m = b.ir.total_strings();
+        assert!((35..=80).contains(&m), "got {m} edges");
+    }
+
+    #[test]
+    fn classes_match_paper_split() {
+        assert!(SC_NAMES.iter().all(|n| generate(n).class == BackendClass::Superconducting));
+        assert_eq!(generate("Ising-1D").class, BackendClass::FaultTolerant);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        generate("UCCSD-9");
+    }
+}

@@ -1,0 +1,129 @@
+//! VQE UCCSD ansatz generators (the paper's `UCCSD-n` family).
+//!
+//! The unitary coupled-cluster singles-and-doubles ansatz on `n` spin
+//! orbitals (even/odd indices = spin-up/down, first `n_e` orbitals
+//! occupied at half filling) is
+//! `Π exp(iθ_k H_k)` with one Hermitian generator per spin-conserving
+//! excitation. Each excitation becomes one Pauli block — its 2 (singles)
+//! or 8 (doubles) strings share the variational parameter, the constraint
+//! the Pauli IR block structure encodes (Fig. 6(b)).
+
+use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::jw;
+
+/// Generates `UCCSD-n` on `n` spin orbitals at half filling with random
+/// (seeded) parameter values standing in for a VQE iterate.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or below 4.
+pub fn uccsd_ir(n: usize, seed: u64) -> PauliIR {
+    assert!(n >= 4 && n % 2 == 0, "UCCSD needs an even n ≥ 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_spatial = n / 2;
+    let occ_spatial = n_spatial / 2;
+    // Spin orbital layout: spatial p, spin σ ∈ {0, 1} → index 2p + σ.
+    let spin_orbitals = |occupied: bool, spin: usize| -> Vec<usize> {
+        let range = if occupied { 0..occ_spatial } else { occ_spatial..n_spatial };
+        range.map(|p| 2 * p + spin).collect()
+    };
+    let mut ir = PauliIR::new(n);
+    let param = |label: String, rng: &mut StdRng| {
+        Parameter::named(label, rng.gen_range(-0.5..0.5))
+    };
+    // Spin-conserving singles.
+    let mut t = 0usize;
+    for spin in 0..2 {
+        for &i in &spin_orbitals(true, spin) {
+            for &a in &spin_orbitals(false, spin) {
+                let terms = jw::single_excitation(n, i, a);
+                ir.push_block(PauliBlock::new(terms, param(format!("t{t}"), &mut rng)));
+                t += 1;
+            }
+        }
+    }
+    // Doubles: same-spin (αα, ββ) and opposite-spin (αβ).
+    for spin in 0..2 {
+        let occ = spin_orbitals(true, spin);
+        let virt = spin_orbitals(false, spin);
+        for (ii, &i) in occ.iter().enumerate() {
+            for &j in &occ[ii + 1..] {
+                for (ai, &a) in virt.iter().enumerate() {
+                    for &b in &virt[ai + 1..] {
+                        let terms = jw::double_excitation(n, i, j, a, b);
+                        ir.push_block(PauliBlock::new(terms, param(format!("t{t}"), &mut rng)));
+                        t += 1;
+                    }
+                }
+            }
+        }
+    }
+    let occ_a = spin_orbitals(true, 0);
+    let virt_a = spin_orbitals(false, 0);
+    let occ_b = spin_orbitals(true, 1);
+    let virt_b = spin_orbitals(false, 1);
+    for &i in &occ_a {
+        for &j in &occ_b {
+            for &a in &virt_a {
+                for &b in &virt_b {
+                    let terms = jw::double_excitation(n, i, j, a, b);
+                    ir.push_block(PauliBlock::new(terms, param(format!("t{t}"), &mut rng)));
+                    t += 1;
+                }
+            }
+        }
+    }
+    ir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uccsd8_structure() {
+        let ir = uccsd_ir(8, 1);
+        assert_eq!(ir.num_qubits(), 8);
+        // Half filling: 2 occupied spatial, 2 virtual spatial.
+        // Singles: 2·2 per spin → 8 blocks of 2 strings.
+        // Doubles: same-spin 1+1, opposite-spin 16 → 18 blocks of 8.
+        let singles = ir.blocks().iter().filter(|b| b.terms.len() == 2).count();
+        let doubles = ir.blocks().iter().filter(|b| b.terms.len() == 8).count();
+        assert_eq!(singles, 8);
+        assert_eq!(doubles, 18);
+        assert_eq!(ir.total_strings(), 8 * 2 + 18 * 8);
+    }
+
+    #[test]
+    fn blocks_share_parameters() {
+        let ir = uccsd_ir(8, 2);
+        for b in ir.blocks() {
+            assert!(b.parameter.name.is_some());
+            // All strings of an excitation share support size parity.
+            let w0 = b.terms[0].string.weight();
+            assert!(b.terms.iter().all(|t| t.string.weight() == w0));
+        }
+    }
+
+    #[test]
+    fn grows_with_n() {
+        let s8 = uccsd_ir(8, 1).total_strings();
+        let s12 = uccsd_ir(12, 1).total_strings();
+        let s16 = uccsd_ir(16, 1).total_strings();
+        assert!(s8 < s12 && s12 < s16);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uccsd_ir(8, 3), uccsd_ir(8, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_sizes() {
+        uccsd_ir(7, 1);
+    }
+}
