@@ -65,7 +65,11 @@ pub fn qiskit_l3_like(circuit: &Circuit, mapping: Mapping<'_>) -> GenericResult 
     };
     c = c.decompose_swaps();
     cleanup_fixpoint(&mut c, 8);
-    GenericResult { circuit: c, initial_l2p: initial, final_l2p: final_ }
+    GenericResult {
+        circuit: c,
+        initial_l2p: initial,
+        final_l2p: final_,
+    }
 }
 
 /// Path-based "token" router: each blocked two-qubit gate walks its
@@ -82,8 +86,7 @@ fn route_token(circuit: &Circuit, device: &CouplingMap) -> sabre::Routed {
             (a, b) => {
                 let b = b.expect("two-qubit gate");
                 while !device.has_edge(layout.phys(a), layout.phys(b)) {
-                    let path =
-                        device.shortest_path(layout.phys(a), layout.phys(b), |_, _| 1.0);
+                    let path = device.shortest_path(layout.phys(a), layout.phys(b), |_, _| 1.0);
                     out.push(Gate::Swap(path[0], path[1]));
                     layout.swap_physical(path[0], path[1]);
                 }
@@ -92,7 +95,11 @@ fn route_token(circuit: &Circuit, device: &CouplingMap) -> sabre::Routed {
         }
     }
     let _ = n;
-    sabre::Routed { circuit: out, initial_l2p: initial, final_l2p: layout.l2p().to_vec() }
+    sabre::Routed {
+        circuit: out,
+        initial_l2p: initial,
+        final_l2p: layout.l2p().to_vec(),
+    }
 }
 
 /// The tket-O2-like pipeline: path-based routing (if needed), SWAP
@@ -108,7 +115,11 @@ pub fn tket_o2_like(circuit: &Circuit, mapping: Mapping<'_>) -> GenericResult {
     c = c.decompose_swaps();
     fusion::fuse_single_qubit_runs(&mut c);
     peephole::optimize(&mut c);
-    GenericResult { circuit: c, initial_l2p: initial, final_l2p: final_ }
+    GenericResult {
+        circuit: c,
+        initial_l2p: initial,
+        final_l2p: final_,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +146,9 @@ mod tests {
             c.push(Gate::Cx(0, q));
         }
         let r = qiskit_l3_like(&c, Mapping::Route(&device));
-        assert!(r.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(r
+            .circuit
+            .respects_connectivity(|a, b| device.has_edge(a, b)));
         assert_eq!(r.circuit.stats().swap, 0, "swaps must be decomposed");
         assert!(r.initial_l2p.is_some());
     }
@@ -150,7 +163,9 @@ mod tests {
         c.push(Gate::H(2));
         c.push(Gate::H(2));
         let r = tket_o2_like(&c, Mapping::Route(&device));
-        assert!(r.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(r
+            .circuit
+            .respects_connectivity(|a, b| device.has_edge(a, b)));
     }
 
     #[test]
@@ -174,7 +189,11 @@ mod tests {
         c.push(Gate::Cx(0, 2));
         let a = qiskit_l3_like(&c, Mapping::Route(&device));
         let b = tket_o2_like(&c, Mapping::Route(&device));
-        assert!(a.circuit.respects_connectivity(|x, y| device.has_edge(x, y)));
-        assert!(b.circuit.respects_connectivity(|x, y| device.has_edge(x, y)));
+        assert!(a
+            .circuit
+            .respects_connectivity(|x, y| device.has_edge(x, y)));
+        assert!(b
+            .circuit
+            .respects_connectivity(|x, y| device.has_edge(x, y)));
     }
 }

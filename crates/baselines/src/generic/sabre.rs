@@ -206,7 +206,11 @@ pub fn route(circuit: &Circuit, device: &CouplingMap) -> Routed {
         decay[best.1] += 0.1;
         last_swap = Some(best);
     }
-    Routed { circuit: out, initial_l2p: initial, final_l2p: layout.l2p().to_vec() }
+    Routed {
+        circuit: out,
+        initial_l2p: initial,
+        final_l2p: layout.l2p().to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +238,9 @@ mod tests {
             c.push(Gate::Cx(0, q));
         }
         let r = route(&c, &device);
-        assert!(r.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(r
+            .circuit
+            .respects_connectivity(|a, b| device.has_edge(a, b)));
         assert!(r.circuit.stats().swap >= 1);
         assert_eq!(r.circuit.stats().cnot, 4);
     }
@@ -256,8 +262,18 @@ mod tests {
         c.push(Gate::Cx(0, 3)); // needs routing
         c.push(Gate::H(3)); // must come after
         let r = route(&c, &device);
-        let pos_cx = r.circuit.gates().iter().position(|g| matches!(g, Gate::Cx(..))).unwrap();
-        let pos_h = r.circuit.gates().iter().position(|g| matches!(g, Gate::H(_))).unwrap();
+        let pos_cx = r
+            .circuit
+            .gates()
+            .iter()
+            .position(|g| matches!(g, Gate::Cx(..)))
+            .unwrap();
+        let pos_h = r
+            .circuit
+            .gates()
+            .iter()
+            .position(|g| matches!(g, Gate::H(_)))
+            .unwrap();
         assert!(pos_cx < pos_h);
     }
 

@@ -55,9 +55,7 @@ pub fn naive_counts(ir: &PauliIR) -> (usize, usize) {
                 .string
                 .support()
                 .iter()
-                .filter(|&&q| {
-                    matches!(term.string.get(q), pauli::Pauli::X | pauli::Pauli::Y)
-                })
+                .filter(|&&q| matches!(term.string.get(q), pauli::Pauli::X | pauli::Pauli::Y))
                 .count();
             single += 1 + 2 * basis;
         }
@@ -68,8 +66,8 @@ pub fn naive_counts(ir: &PauliIR) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paulihedral::ir::{Parameter, PauliBlock};
     use pauli::PauliTerm;
+    use paulihedral::ir::{Parameter, PauliBlock};
 
     fn ir_of(strings: &[&str]) -> PauliIR {
         let n = strings[0].len();

@@ -163,8 +163,8 @@ pub fn compile_qaoa(ir: &PauliIR, device: &CouplingMap) -> QaoaCompiled {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
     use pauli::PauliTerm;
+    use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
     use qdevice::devices;
 
     fn ring_ir(n: usize) -> PauliIR {
@@ -182,7 +182,9 @@ mod tests {
     fn compiles_ring_onto_line() {
         let device = devices::linear(6);
         let r = compile_qaoa(&ring_ir(6), &device);
-        assert!(r.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(r
+            .circuit
+            .respects_connectivity(|a, b| device.has_edge(a, b)));
         assert_eq!(r.emitted.len(), 6);
         // A 6-ring on a line needs routing.
         assert!(r.circuit.stats().swap >= 1);

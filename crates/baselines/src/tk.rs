@@ -92,9 +92,7 @@ pub fn compile_tk(ir: &PauliIR) -> TkResult {
     let mut emitted = Vec::new();
     for cluster in &clusters {
         let strings: Vec<PauliString> = cluster.iter().map(|&i| terms[i].0.clone()).collect();
-        let all_diagonal = strings
-            .iter()
-            .all(|s| s.x_words().iter().all(|&w| w == 0));
+        let all_diagonal = strings.iter().all(|s| s.x_words().iter().all(|&w| w == 0));
         let (diag_seq, clifford): (Vec<(PauliString, f64)>, Vec<CliffordGate>) = if all_diagonal {
             // Already Z-only: no Clifford overhead.
             (
@@ -110,7 +108,11 @@ pub fn compile_tk(ir: &PauliIR) -> TkResult {
                 .iter()
                 .enumerate()
                 .map(|(r, &i)| {
-                    let theta = if tableau.sign(r) { -terms[i].1 } else { terms[i].1 };
+                    let theta = if tableau.sign(r) {
+                        -terms[i].1
+                    } else {
+                        terms[i].1
+                    };
                     (tableau.row(r).clone(), theta)
                 })
                 .collect();
@@ -127,14 +129,18 @@ pub fn compile_tk(ir: &PauliIR) -> TkResult {
         }
         emitted.extend(cluster.iter().map(|&i| terms[i].clone()));
     }
-    TkResult { circuit, emitted, num_clusters: clusters.len() }
+    TkResult {
+        circuit,
+        emitted,
+        num_clusters: clusters.len(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paulihedral::ir::{Parameter, PauliBlock};
     use pauli::PauliTerm;
+    use paulihedral::ir::{Parameter, PauliBlock};
 
     fn ir_of(strings: &[(&str, f64)]) -> PauliIR {
         let n = strings[0].0.len();

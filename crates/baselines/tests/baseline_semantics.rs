@@ -5,8 +5,8 @@
 
 use baselines::generic::{self, Mapping};
 use baselines::{naive, qaoa_compiler, tk};
-use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
 use pauli::{Pauli, PauliString, PauliTerm};
+use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
 use qdevice::devices;
 use qsim::trotter::exp_product;
 use qsim::unitary::{circuit_unitary, equal_up_to_phase, routed_circuit_implements};

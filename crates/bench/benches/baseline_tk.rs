@@ -1,8 +1,8 @@
 //! Criterion bench: the TK baseline's clustering + simultaneous
 //! diagonalization cost (its O(N²) stage).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use baselines::tk;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::suite;
 
 fn bench_tk(c: &mut Criterion) {

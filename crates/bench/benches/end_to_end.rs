@@ -14,7 +14,15 @@ fn bench_end_to_end(c: &mut Criterion) {
     for name in ["UCCSD-8", "REG-20-4", "Heisen-2D"] {
         let b = suite::generate(name);
         group.bench_with_input(BenchmarkId::new("ph_l3", name), &b, |bench, b| {
-            bench.iter(|| ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3));
+            bench.iter(|| {
+                ph_flow(
+                    &b.ir,
+                    b.class,
+                    Scheduler::Depth,
+                    &device,
+                    SecondStage::QiskitL3,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("tk_l3", name), &b, |bench, b| {
             bench.iter(|| tk_flow(&b.ir, b.class, &device, SecondStage::QiskitL3));

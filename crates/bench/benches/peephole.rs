@@ -12,12 +12,16 @@ fn bench_peephole(c: &mut Criterion) {
     for name in ["Heisen-1D", "UCCSD-8", "UCCSD-12"] {
         let b = suite::generate(name);
         let circuit = naive::synthesize(&b.ir).circuit;
-        group.bench_with_input(BenchmarkId::new("optimize", name), &circuit, |bench, circ| {
-            bench.iter(|| {
-                let mut c = circ.clone();
-                peephole::optimize(&mut c)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("optimize", name),
+            &circuit,
+            |bench, circ| {
+                bench.iter(|| {
+                    let mut c = circ.clone();
+                    peephole::optimize(&mut c)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -97,8 +97,20 @@ fn main() {
     let eagle = devices::heavy_hex(7, 15);
     for name in ["UCCSD-16", "REG-20-8"] {
         let b = suite::generate(name);
-        let on_m = ph_flow(&b.ir, b.class, Scheduler::Depth, &manhattan, SecondStage::QiskitL3);
-        let on_e = ph_flow(&b.ir, b.class, Scheduler::Depth, &eagle, SecondStage::QiskitL3);
+        let on_m = ph_flow(
+            &b.ir,
+            b.class,
+            Scheduler::Depth,
+            &manhattan,
+            SecondStage::QiskitL3,
+        );
+        let on_e = ph_flow(
+            &b.ir,
+            b.class,
+            Scheduler::Depth,
+            &eagle,
+            SecondStage::QiskitL3,
+        );
         print_row(
             &widths,
             &[
@@ -120,20 +132,30 @@ fn main() {
             &b.ir,
             &CompileOptions {
                 scheduler: Scheduler::Depth,
-                backend: Backend::Superconducting { device: &manhattan, noise: None },
+                backend: Backend::Superconducting {
+                    device: &manhattan,
+                    noise: None,
+                },
             },
         );
         let aware = compile(
             &b.ir,
             &CompileOptions {
                 scheduler: Scheduler::Depth,
-                backend: Backend::Superconducting { device: &manhattan, noise: Some(&noise) },
+                backend: Backend::Superconducting {
+                    device: &manhattan,
+                    noise: Some(&noise),
+                },
             },
         );
         // Deep circuits have ESP ≈ 0; compare the expected error count
         // −ln(ESP) ≈ Σ ε instead (lower is better).
         let err_sum = |c: &qcircuit::Circuit| -> f64 {
-            c.decompose_swaps().gates().iter().map(|g| noise.gate_error(g)).sum()
+            c.decompose_swaps()
+                .gates()
+                .iter()
+                .map(|g| noise.gate_error(g))
+                .sum()
         };
         let (ep, ea) = (err_sum(&plain.circuit), err_sum(&aware.circuit));
         print_row(
@@ -141,7 +163,10 @@ fn main() {
             &[
                 "noise-aware".into(),
                 name.into(),
-                fmt(plain.circuit.mapped_stats().cnot, aware.circuit.mapped_stats().cnot),
+                fmt(
+                    plain.circuit.mapped_stats().cnot,
+                    aware.circuit.mapped_stats().cnot,
+                ),
                 format!("Σε {ep:.1}"),
                 format!("Σε {ea:.1}"),
                 format!("{:+.2}", (ea - ep) / ep * 100.0),

@@ -18,9 +18,9 @@
 
 use baselines::generic::{self, Mapping};
 use baselines::naive;
+use pauli::{Pauli, PauliString, PauliTerm};
 use paulihedral::ir::{Parameter, PauliIR};
 use paulihedral::{compile, Backend, CompileOptions, Scheduler};
-use pauli::{Pauli, PauliString, PauliTerm};
 use ph_bench::{arg_value, print_row};
 use qcircuit::{Circuit, Gate};
 use qdevice::{devices, NoiseModel};
@@ -70,7 +70,11 @@ fn compact(
     }
     used.sort_unstable();
     let map = |q: usize| used.binary_search(&q).expect("marked");
-    let gate_errors: Vec<f64> = circuit.gates().iter().map(|g| noise.gate_error(g)).collect();
+    let gate_errors: Vec<f64> = circuit
+        .gates()
+        .iter()
+        .map(|g| noise.gate_error(g))
+        .collect();
     let compacted = circuit.map_qubits(used.len(), map);
     let measured_c: Vec<usize> = measured.iter().map(|&m| map(m)).collect();
     let readout: Vec<f64> = measured.iter().map(|&m| noise.readout_error(m)).collect();
@@ -100,15 +104,29 @@ fn geomean(vals: &[f64]) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let shots: usize = arg_value(&args, "--shots").and_then(|s| s.parse().ok()).unwrap_or(2048);
-    let grid: usize = arg_value(&args, "--grid").and_then(|s| s.parse().ok()).unwrap_or(16);
+    let shots: usize = arg_value(&args, "--shots")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
+    let grid: usize = arg_value(&args, "--grid")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let device = devices::melbourne_16();
     let noise = NoiseModel::synthetic(&device, 1606);
     let mut rng = StdRng::seed_from_u64(42);
 
     let benches: Vec<(String, Graph)> = (7..=10)
-        .map(|n| (format!("REG-n{n}-d4"), graphs::random_regular(n, 4, 400 + n as u64)))
-        .chain((7..=10).map(|n| (format!("RD-n{n}-p0.5"), graphs::erdos_renyi(n, 0.5, 500 + n as u64))))
+        .map(|n| {
+            (
+                format!("REG-n{n}-d4"),
+                graphs::random_regular(n, 4, 400 + n as u64),
+            )
+        })
+        .chain((7..=10).map(|n| {
+            (
+                format!("RD-n{n}-p0.5"),
+                graphs::erdos_renyi(n, 0.5, 500 + n as u64),
+            )
+        }))
         .collect();
 
     println!("Figure 11: QAOA success probability improvement on the Melbourne model");
@@ -116,10 +134,12 @@ fn main() {
     let widths = [13usize, 9, 9, 9, 9, 9, 9];
     print_row(
         &widths,
-        &["Bench", "CNOT(bl)", "CNOT(PH)", "ESP(bl)", "ESP(PH)", "ESPx", "RSPx"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
+        &[
+            "Bench", "CNOT(bl)", "CNOT(PH)", "ESP(bl)", "ESP(PH)", "ESPx", "RSPx",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
     );
 
     let mut esp_ratios = Vec::new();
@@ -146,7 +166,10 @@ fn main() {
             &ph_ir,
             &CompileOptions {
                 scheduler: Scheduler::Depth,
-                backend: Backend::Superconducting { device: &device, noise: Some(&noise) },
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: Some(&noise),
+                },
             },
         );
         let cleaned = generic::qiskit_l3_like(&compiled.circuit, Mapping::AlreadyMapped);
@@ -167,7 +190,11 @@ fn main() {
         let rsp_ph = rsp(&ph_full, &ph_final);
 
         let esp_x = esp_ph / esp_base;
-        let rsp_x = if rsp_base > 0.0 { rsp_ph / rsp_base } else { f64::NAN };
+        let rsp_x = if rsp_base > 0.0 {
+            rsp_ph / rsp_base
+        } else {
+            f64::NAN
+        };
         esp_ratios.push(esp_x);
         if rsp_x.is_finite() {
             rsp_ratios.push(rsp_x);

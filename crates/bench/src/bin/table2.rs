@@ -11,7 +11,9 @@
 //! the paper used a 28-core Xeon server).
 
 use paulihedral::Scheduler;
-use ph_bench::{arg_flag, arg_value, fmt_secs, ph_flow, print_row, quick_subset, tk_flow, SecondStage};
+use ph_bench::{
+    arg_flag, arg_value, fmt_secs, ph_flow, print_row, quick_subset, tk_flow, SecondStage,
+};
 use qdevice::devices;
 use workloads::suite;
 
@@ -22,20 +24,27 @@ fn main() {
     let device = devices::manhattan_65();
 
     let names: Vec<&str> = match &filter {
-        Some(f) => suite::all_names().into_iter().filter(|n| n.contains(f.as_str())).collect(),
+        Some(f) => suite::all_names()
+            .into_iter()
+            .filter(|n| n.contains(f.as_str()))
+            .collect(),
         None if quick => quick_subset(),
         None => suite::all_names(),
     };
 
     println!("Table 2: compilation time and results, PH vs TK x {{Qiskit_L3, tket_O2}}");
-    println!("(PH scheduling: depth-oriented on SC; pattern-adaptive on FT. SC = Manhattan-65 model)");
+    println!(
+        "(PH scheduling: depth-oriented on SC; pattern-adaptive on FT. SC = Manhattan-65 model)"
+    );
     let widths = [12usize, 14, 8, 8, 9, 9, 9, 8];
     print_row(
         &widths,
-        &["Bench", "Config", "T1(s)", "T2(s)", "CNOT", "Single", "Total", "Depth"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
+        &[
+            "Bench", "Config", "T1(s)", "T2(s)", "CNOT", "Single", "Total", "Depth",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
     );
 
     for name in names {

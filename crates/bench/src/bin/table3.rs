@@ -33,14 +33,22 @@ fn main() {
     let widths = [12usize, 16, 9, 9, 9, 8, 8];
     print_row(
         &widths,
-        &["Bench", "Config", "CNOT", "Single", "Total", "Depth", "Time(s)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
+        &[
+            "Bench", "Config", "CNOT", "Single", "Total", "Depth", "Time(s)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
     );
     for name in names {
         let b = suite::generate(name);
-        let ph = ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+        let ph = ph_flow(
+            &b.ir,
+            b.class,
+            Scheduler::Depth,
+            &device,
+            SecondStage::QiskitL3,
+        );
         print_row(
             &widths,
             &[

@@ -13,7 +13,10 @@
 //! ```
 
 use paulihedral::Scheduler;
-use ph_bench::{arg_flag, arg_value, pct_change, ph_flow, print_row, quick_subset, scheduled_naive_flow, SecondStage};
+use ph_bench::{
+    arg_flag, arg_value, pct_change, ph_flow, print_row, quick_subset, scheduled_naive_flow,
+    SecondStage,
+};
 use qdevice::devices;
 use workloads::suite;
 
@@ -23,7 +26,10 @@ fn main() {
     let filter = arg_value(&args, "--filter");
     let device = devices::manhattan_65();
     let names: Vec<&str> = match &filter {
-        Some(f) => suite::all_names().into_iter().filter(|n| n.contains(f.as_str())).collect(),
+        Some(f) => suite::all_names()
+            .into_iter()
+            .filter(|n| n.contains(f.as_str()))
+            .collect(),
         None if quick => quick_subset(),
         None => suite::all_names(),
     };
@@ -46,11 +52,23 @@ fn main() {
         // DO vs GCO.
         let single_block = b.ir.num_blocks() == 1;
         let (do_cells, gco) = {
-            let gco = ph_flow(&b.ir, b.class, Scheduler::GateCount, &device, SecondStage::QiskitL3);
+            let gco = ph_flow(
+                &b.ir,
+                b.class,
+                Scheduler::GateCount,
+                &device,
+                SecondStage::QiskitL3,
+            );
             if single_block {
                 (vec!["N/A".to_string(); 4], gco)
             } else {
-                let do_ = ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+                let do_ = ph_flow(
+                    &b.ir,
+                    b.class,
+                    Scheduler::Depth,
+                    &device,
+                    SecondStage::QiskitL3,
+                );
                 (
                     vec![
                         fmt(pct_change(gco.stats.cnot, do_.stats.cnot)),
@@ -64,9 +82,20 @@ fn main() {
         };
         let _ = gco;
         // BC vs scheduled-naive synthesis (both depth-scheduled).
-        let bc = ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
-        let naive =
-            scheduled_naive_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+        let bc = ph_flow(
+            &b.ir,
+            b.class,
+            Scheduler::Depth,
+            &device,
+            SecondStage::QiskitL3,
+        );
+        let naive = scheduled_naive_flow(
+            &b.ir,
+            b.class,
+            Scheduler::Depth,
+            &device,
+            SecondStage::QiskitL3,
+        );
         let bc_cells = vec![
             fmt(pct_change(naive.stats.cnot, bc.stats.cnot)),
             fmt(pct_change(naive.stats.single, bc.stats.single)),

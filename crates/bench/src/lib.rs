@@ -65,7 +65,10 @@ pub fn ph_flow(
 ) -> FlowResult {
     let t0 = Instant::now();
     let backend = match class {
-        BackendClass::Superconducting => Backend::Superconducting { device, noise: None },
+        BackendClass::Superconducting => Backend::Superconducting {
+            device,
+            noise: None,
+        },
         BackendClass::FaultTolerant => Backend::FaultTolerant,
     };
     let compiled = compile(ir, &CompileOptions { scheduler, backend });
@@ -77,7 +80,11 @@ pub fn ph_flow(
     };
     let final_circuit = second.run(&compiled.circuit, mapping);
     let stage2 = t1.elapsed();
-    FlowResult { stats: final_circuit.stats(), stage1, stage2 }
+    FlowResult {
+        stats: final_circuit.stats(),
+        stage1,
+        stage2,
+    }
 }
 
 /// Runs the TK baseline flow: simultaneous diagonalization, then a generic
@@ -98,7 +105,11 @@ pub fn tk_flow(
     };
     let final_circuit = second.run(&r.circuit, mapping);
     let stage2 = t1.elapsed();
-    FlowResult { stats: final_circuit.stats(), stage1, stage2 }
+    FlowResult {
+        stats: final_circuit.stats(),
+        stage1,
+        stage2,
+    }
 }
 
 /// Naive-synthesis flow with Paulihedral *scheduling* but naive chains
@@ -133,7 +144,11 @@ pub fn scheduled_naive_flow(
     };
     let final_circuit = second.run(&logical, mapping);
     let stage2 = t1.elapsed();
-    FlowResult { stats: final_circuit.stats(), stage1, stage2 }
+    FlowResult {
+        stats: final_circuit.stats(),
+        stage1,
+        stage2,
+    }
 }
 
 /// Formats a duration as seconds with sensible precision.
@@ -206,11 +221,23 @@ mod tests {
     fn ph_flow_runs_on_both_classes() {
         let device = devices::manhattan_65();
         let sc = suite::generate("REG-20-4");
-        let r = ph_flow(&sc.ir, sc.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+        let r = ph_flow(
+            &sc.ir,
+            sc.class,
+            Scheduler::Depth,
+            &device,
+            SecondStage::QiskitL3,
+        );
         assert!(r.stats.cnot > 0);
         assert_eq!(r.stats.swap, 0, "final stats must be swap-free");
         let ft = suite::generate("Ising-1D");
-        let r = ph_flow(&ft.ir, ft.class, Scheduler::Depth, &device, SecondStage::TketO2);
+        let r = ph_flow(
+            &ft.ir,
+            ft.class,
+            Scheduler::Depth,
+            &device,
+            SecondStage::TketO2,
+        );
         assert_eq!(r.stats.cnot, 58);
     }
 
@@ -226,9 +253,20 @@ mod tests {
     fn ph_beats_scheduled_naive_on_uccsd() {
         let device = devices::manhattan_65();
         let b = suite::generate("UCCSD-8");
-        let ph = ph_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
-        let naive =
-            scheduled_naive_flow(&b.ir, b.class, Scheduler::Depth, &device, SecondStage::QiskitL3);
+        let ph = ph_flow(
+            &b.ir,
+            b.class,
+            Scheduler::Depth,
+            &device,
+            SecondStage::QiskitL3,
+        );
+        let naive = scheduled_naive_flow(
+            &b.ir,
+            b.class,
+            Scheduler::Depth,
+            &device,
+            SecondStage::QiskitL3,
+        );
         assert!(
             ph.stats.cnot < naive.stats.cnot,
             "PH {} vs naive {}",

@@ -24,7 +24,10 @@ use qcircuit::qasm::{to_qasm, QasmOptions};
 use qdevice::{devices, CouplingMap};
 
 fn value_of(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_device(spec: &str, n_program: usize) -> Result<Option<CouplingMap>, String> {
@@ -45,7 +48,9 @@ fn parse_device(spec: &str, n_program: usize) -> Result<Option<CouplingMap>, Str
                 let c: usize = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
                 return Ok(Some(devices::grid(r, c)));
             }
-            Err(format!("unknown backend `{other}` (ft|manhattan|melbourne|linear:N|grid:RxC)"))
+            Err(format!(
+                "unknown backend `{other}` (ft|manhattan|melbourne|linear:N|grid:RxC)"
+            ))
         }
     }
 }
@@ -89,7 +94,10 @@ fn run() -> Result<(), String> {
 
     let backend = match &device {
         None => Backend::FaultTolerant,
-        Some(map) => Backend::Superconducting { device: map, noise: None },
+        Some(map) => Backend::Superconducting {
+            device: map,
+            noise: None,
+        },
     };
     let out = compile(&ir, &CompileOptions { scheduler, backend });
     let stats = out.circuit.mapped_stats();

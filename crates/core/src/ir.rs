@@ -29,7 +29,10 @@ impl Parameter {
 
     /// A named variational parameter with its current value.
     pub fn named(name: impl Into<String>, value: f64) -> Parameter {
-        Parameter { name: Some(name.into()), value }
+        Parameter {
+            name: Some(name.into()),
+            value,
+        }
     }
 }
 
@@ -193,7 +196,10 @@ pub struct PauliIR {
 impl PauliIR {
     /// An empty program on `n` qubits.
     pub fn new(n: usize) -> PauliIR {
-        PauliIR { n, blocks: Vec::new() }
+        PauliIR {
+            n,
+            blocks: Vec::new(),
+        }
     }
 
     /// Builds the Hamiltonian-simulation form: every term becomes its own
@@ -298,7 +304,10 @@ mod tests {
     #[test]
     fn depth_estimate_matches_chain_synthesis() {
         // support 3 → 2·2+1 = 5; support 1 → 1.
-        let b = PauliBlock::new(vec![term("ZZZ", 1.0), term("IIX", 1.0)], Parameter::time(1.0));
+        let b = PauliBlock::new(
+            vec![term("ZZZ", 1.0), term("IIX", 1.0)],
+            Parameter::time(1.0),
+        );
         assert_eq!(b.depth_estimate(), 6);
     }
 
@@ -325,7 +334,11 @@ mod tests {
     #[should_panic(expected = "qubit count mismatch")]
     fn rejects_mismatched_blocks() {
         let mut ir = PauliIR::new(3);
-        ir.push_block(PauliBlock::single("ZZ".parse().unwrap(), 1.0, Parameter::time(1.0)));
+        ir.push_block(PauliBlock::single(
+            "ZZ".parse().unwrap(),
+            1.0,
+            Parameter::time(1.0),
+        ));
     }
 
     #[test]

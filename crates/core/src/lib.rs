@@ -178,7 +178,10 @@ mod tests {
     fn ft_compile_produces_logical_circuit() {
         let out = compile(
             &small_ir(),
-            &CompileOptions { scheduler: Scheduler::GateCount, backend: Backend::FaultTolerant },
+            &CompileOptions {
+                scheduler: Scheduler::GateCount,
+                backend: Backend::FaultTolerant,
+            },
         );
         assert_eq!(out.circuit.num_qubits(), 3);
         assert!(out.initial_l2p.is_none());
@@ -192,7 +195,10 @@ mod tests {
             &small_ir(),
             &CompileOptions {
                 scheduler: Scheduler::Depth,
-                backend: Backend::Superconducting { device: &device, noise: None },
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
             },
         );
         assert_eq!(out.circuit.num_qubits(), 5);
@@ -207,7 +213,10 @@ mod tests {
         for s in [Scheduler::GateCount, Scheduler::Depth] {
             let out = compile(
                 &small_ir(),
-                &CompileOptions { scheduler: s, backend: Backend::FaultTolerant },
+                &CompileOptions {
+                    scheduler: s,
+                    backend: Backend::FaultTolerant,
+                },
             );
             assert_eq!(out.emitted.len(), 3);
         }

@@ -84,7 +84,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { offset: self.pos, message }
+        ParseError {
+            offset: self.pos,
+            message,
+        }
     }
 
     fn token(&mut self) -> Result<&'a str, ParseError> {
@@ -172,7 +175,10 @@ pub fn parse_program_with(
             }
         }
     }
-    let n = n.ok_or(ParseError { offset: 0, message: "empty program".into() })?;
+    let n = n.ok_or(ParseError {
+        offset: 0,
+        message: "empty program".into(),
+    })?;
     let mut ir = PauliIR::new(n);
     for b in blocks {
         ir.push_block(b);

@@ -35,7 +35,12 @@ impl Layer {
 
     /// The merged last strings — the pattern facing the *next* layer.
     pub fn back_signature(&self, n: usize) -> PauliString {
-        merge_strings(n, self.blocks.iter().map(|b| &b.terms[b.terms.len() - 1].string))
+        merge_strings(
+            n,
+            self.blocks
+                .iter()
+                .map(|b| &b.terms[b.terms.len() - 1].string),
+        )
     }
 
     /// Total strings in the layer.
@@ -65,7 +70,10 @@ pub fn schedule_gco(ir: &PauliIR) -> Vec<Layer> {
         b.sort_terms_lex();
     }
     blocks.sort_by(|a, b| a.representative().lex_cmp(b.representative()));
-    blocks.into_iter().map(|b| Layer { blocks: vec![b] }).collect()
+    blocks
+        .into_iter()
+        .map(|b| Layer { blocks: vec![b] })
+        .collect()
 }
 
 /// Depth-oriented scheduling (Alg. 1).
@@ -135,18 +143,24 @@ pub fn schedule_depth(ir: &PauliIR) -> Vec<Layer> {
         left -= 1;
         let budget = depths[anchor_idx];
         let mut layer_mask = masks[anchor_idx].clone();
-        let mut layer = Layer { blocks: vec![anchor] };
+        let mut layer = Layer {
+            blocks: vec![anchor],
+        };
         // Padding (Alg. 1 lines 7–10): small blocks disjoint from every
         // block already in the layer, so they execute in parallel. Since
         // pads are pairwise disjoint their depths do not stack — each pad
         // only has to fit under the anchor's depth individually.
         for i in next_alive..remaining.len() {
-            let Some(_) = remaining[i].as_ref() else { continue };
+            let Some(_) = remaining[i].as_ref() else {
+                continue;
+            };
             if depths[i] <= budget && disjoint(&masks[i], &layer_mask) {
                 for (m, w) in layer_mask.iter_mut().zip(&masks[i]) {
                     *m |= w;
                 }
-                layer.blocks.push(remaining[i].take().expect("candidate exists"));
+                layer
+                    .blocks
+                    .push(remaining[i].take().expect("candidate exists"));
                 left -= 1;
             }
         }
@@ -273,18 +287,16 @@ mod tests {
     fn anchor_follows_overlap_with_previous_layer() {
         // After anchor ZZZZ, the next anchor should be the block sharing
         // more operators with it: ZZII (overlap 2) over XXII (overlap 0).
-        let ir = ir_of(vec![
-            block(&["ZZZZ"]),
-            block(&["XXII"]),
-            block(&["ZZII"]),
-        ]);
+        let ir = ir_of(vec![block(&["ZZZZ"]), block(&["XXII"]), block(&["ZZII"])]);
         let layers = schedule_depth(&ir);
         assert_eq!(layers[1].blocks[0].representative().to_string(), "ZZII");
     }
 
     #[test]
     fn signatures_merge_disjoint_blocks() {
-        let l = Layer { blocks: vec![block(&["ZZII"]), block(&["IIXY"])] };
+        let l = Layer {
+            blocks: vec![block(&["ZZII"]), block(&["IIXY"])],
+        };
         assert_eq!(l.front_signature(4).to_string(), "ZZXY");
         assert_eq!(l.back_signature(4).to_string(), "ZZXY");
         assert_eq!(l.num_strings(), 2);

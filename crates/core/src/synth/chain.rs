@@ -155,7 +155,11 @@ pub fn aligned_order(
     }
     let shares_next =
         |q: usize| next.is_some_and(|nx| nx.is_active(q) && nx.get(q) == string.get(q));
-    let mut rest: Vec<usize> = support.iter().copied().filter(|q| !order.contains(q)).collect();
+    let mut rest: Vec<usize> = support
+        .iter()
+        .copied()
+        .filter(|q| !order.contains(q))
+        .collect();
     rest.sort_by_key(|&q| (!shares_next(q), q));
     order.extend(rest);
     order
@@ -170,7 +174,10 @@ pub fn synthesize_sequence(n: usize, seq: &[(PauliString, f64)]) -> Circuit {
         if string.is_identity() {
             continue;
         }
-        let next = seq[i + 1..].iter().map(|(s, _)| s).find(|s| !s.is_identity());
+        let next = seq[i + 1..]
+            .iter()
+            .map(|(s, _)| s)
+            .find(|s| !s.is_identity());
         let order = aligned_order(string, prev.as_ref().map(|(s, o)| (s, o.as_slice())), next);
         emit_gadget(&mut circuit, string, *theta, &order);
         prev = Some((string.clone(), order));

@@ -43,7 +43,9 @@ fn pair_layers(n: usize, layers: &[Layer]) -> Vec<usize> {
     }
     let mut overlaps: Vec<(usize, usize)> = (0..layers.len() - 1)
         .map(|i| {
-            let ov = layers[i].back_signature(n).overlap(&layers[i + 1].front_signature(n));
+            let ov = layers[i]
+                .back_signature(n)
+                .overlap(&layers[i + 1].front_signature(n));
             (ov, i)
         })
         .collect();
@@ -115,7 +117,8 @@ pub fn order_strings(n: usize, layers: &[Layer]) -> Vec<(PauliString, f64)> {
         // Order blocks: a block containing the start anchor goes first, one
         // containing the end anchor goes last; others keep schedule order.
         let contains = |bl: &crate::ir::PauliBlock, s: &Option<PauliString>| {
-            s.as_ref().map_or(false, |s| bl.terms.iter().any(|t| &t.string == s))
+            s.as_ref()
+                .map_or(false, |s| bl.terms.iter().any(|t| &t.string == s))
         };
         let mut firsts = Vec::new();
         let mut mids = Vec::new();
@@ -167,7 +170,11 @@ pub fn synthesize(n: usize, layers: &[Layer]) -> FtResult {
     let emitted = order_strings(n, layers);
     let mut circuit = chain::synthesize_sequence(n, &emitted);
     let peephole = peephole::optimize(&mut circuit);
-    FtResult { circuit, emitted, peephole }
+    FtResult {
+        circuit,
+        emitted,
+        peephole,
+    }
 }
 
 #[cfg(test)]

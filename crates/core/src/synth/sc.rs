@@ -74,10 +74,20 @@ fn choose_initial_layout(n_logical: usize, layers: &[Layer], device: &CouplingMa
     let seat = free
         .iter()
         .position(|&p| {
-            device.neighbors(p).iter().filter(|&&q| subgraph.contains(&q)).count()
+            device
+                .neighbors(p)
+                .iter()
+                .filter(|&&q| subgraph.contains(&q))
+                .count()
                 == free
                     .iter()
-                    .map(|&x| device.neighbors(x).iter().filter(|&&q| subgraph.contains(&q)).count())
+                    .map(|&x| {
+                        device
+                            .neighbors(x)
+                            .iter()
+                            .filter(|&&q| subgraph.contains(&q))
+                            .count()
+                    })
                     .max()
                     .unwrap_or(0)
         })
@@ -145,7 +155,12 @@ fn connect_positions(
             return Ok(());
         }
         // Merge the component closest to the largest one into it.
-        let main = comps.iter().enumerate().max_by_key(|(_, c)| c.len()).expect("non-empty").0;
+        let main = comps
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.len())
+            .expect("non-empty")
+            .0;
         let mut in_main = vec![false; device.num_qubits()];
         for &p in &comps[main] {
             in_main[p] = true;
@@ -165,7 +180,9 @@ fn connect_positions(
                 }
             }
         }
-        let Some(path) = best else { return Err(Deferred) };
+        let Some(path) = best else {
+            return Err(Deferred);
+        };
         if path.iter().any(|&p| !ok(p)) {
             return Err(Deferred);
         }
@@ -287,7 +304,15 @@ fn process_block(
     }
     // In constrained mode, bail out early on a conflicting region; then
     // pull the block's qubits together (the block-level embedded tree).
-    connect_positions(&active, device, noise, layout, circuit, allowed, &mut touched)?;
+    connect_positions(
+        &active,
+        device,
+        noise,
+        layout,
+        circuit,
+        allowed,
+        &mut touched,
+    )?;
 
     // Root preference: core qubits (active in every string, Alg. 3 line 4).
     let core = {
@@ -316,19 +341,22 @@ fn process_block(
         let idx = (0..items.len())
             .min_by_key(|&i| {
                 let cost = routing_cost(&items[i].0, device, layout);
-                let overlap = prev_string
-                    .as_ref()
-                    .map_or(0, |p| items[i].0.overlap(p));
+                let overlap = prev_string.as_ref().map_or(0, |p| items[i].0.overlap(p));
                 (cost, usize::MAX - overlap, i)
             })
             .expect("non-empty");
         if routing_cost(&items[idx].0, device, layout) > 0 {
             // Block-scope greedy SWAP search.
             let total = |layout: &Layout| -> u64 {
-                items.iter().map(|(s, _)| routing_cost(s, device, layout)).sum()
+                items
+                    .iter()
+                    .map(|(s, _)| routing_cost(s, device, layout))
+                    .sum()
             };
-            let base_free =
-                items.iter().filter(|(s, _)| routing_cost(s, device, layout) == 0).count();
+            let base_free = items
+                .iter()
+                .filter(|(s, _)| routing_cost(s, device, layout) == 0)
+                .count();
             let base_total = total(layout);
             let mut cands: Vec<(usize, usize)> = Vec::new();
             for (s, _) in &items {
@@ -347,8 +375,10 @@ fn process_block(
                 .map(|(a, b)| {
                     let mut l = layout.clone();
                     l.swap_physical(a, b);
-                    let free =
-                        items.iter().filter(|(s, _)| routing_cost(s, device, &l) == 0).count();
+                    let free = items
+                        .iter()
+                        .filter(|(s, _)| routing_cost(s, device, &l) == 0)
+                        .count();
                     let t = total(&l);
                     (free, t, (a, b))
                 })
@@ -376,7 +406,15 @@ fn process_block(
             }
         }
         let (string, theta) = items.remove(idx);
-        connect_positions(&string.support(), device, noise, layout, circuit, allowed, &mut touched)?;
+        connect_positions(
+            &string.support(),
+            device,
+            noise,
+            layout,
+            circuit,
+            allowed,
+            &mut touched,
+        )?;
         let root_logical = *string
             .support()
             .iter()
@@ -404,7 +442,10 @@ pub fn synthesize(
     device: &CouplingMap,
     noise: Option<&NoiseModel>,
 ) -> ScResult {
-    assert!(device.is_connected(), "device coupling map must be connected");
+    assert!(
+        device.is_connected(),
+        "device coupling map must be connected"
+    );
     assert!(
         n_logical <= device.num_qubits(),
         "program needs {n_logical} qubits, device has {}",
@@ -424,8 +465,14 @@ pub fn synthesize(
             if i == 0 {
                 // The layer's anchor (largest block, critical path).
                 let nodes = process_block(
-                    block, device, noise, &mut layout, &mut circuit, &mut emitted,
-                    &mut prev_string, None,
+                    block,
+                    device,
+                    noise,
+                    &mut layout,
+                    &mut circuit,
+                    &mut emitted,
+                    &mut prev_string,
+                    None,
                 )
                 .unwrap_or_else(|_| unreachable!("unconstrained blocks never defer"));
                 for p in nodes {
@@ -434,8 +481,14 @@ pub fn synthesize(
             } else {
                 let free: Vec<bool> = used.iter().map(|&u| !u).collect();
                 match process_block(
-                    block, device, noise, &mut layout, &mut circuit, &mut emitted,
-                    &mut prev_string, Some(&free),
+                    block,
+                    device,
+                    noise,
+                    &mut layout,
+                    &mut circuit,
+                    &mut emitted,
+                    &mut prev_string,
+                    Some(&free),
                 ) {
                     Ok(nodes) => {
                         for p in nodes {
@@ -468,8 +521,14 @@ pub fn synthesize(
             .expect("remain non-empty");
         let block = remain.swap_remove(idx);
         let _ = process_block(
-            &block, device, noise, &mut layout, &mut circuit, &mut emitted,
-            &mut prev_string, None,
+            &block,
+            device,
+            noise,
+            &mut layout,
+            &mut circuit,
+            &mut emitted,
+            &mut prev_string,
+            None,
         )
         .map_err(|_| unreachable!("unconstrained blocks never defer"));
     }
@@ -659,6 +718,10 @@ mod tests {
         assert_eq!(r.emitted.len(), 3);
         let s = r.circuit.mapped_stats();
         assert!(s.cnot >= 6, "three gadgets need at least 6 CNOTs");
-        assert!(s.cnot <= 6 + 9, "routing should cost at most ~3 SWAPs, got {}", s.cnot);
+        assert!(
+            s.cnot <= 6 + 9,
+            "routing should cost at most ~3 SWAPs, got {}",
+            s.cnot
+        );
     }
 }

@@ -7,9 +7,9 @@
 //! addition, so correctness reduces to "the circuit matches the product in
 //! the order the compiler chose".
 
+use pauli::{Pauli, PauliString, PauliTerm};
 use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
 use paulihedral::{compile, Backend, CompileOptions, Scheduler};
-use pauli::{Pauli, PauliString, PauliTerm};
 use qdevice::devices;
 use qsim::trotter::exp_product;
 use qsim::unitary::{circuit_unitary, equal_up_to_phase, routed_circuit_implements};
@@ -81,7 +81,10 @@ fn ft_backend_preserves_semantics_gco() {
         let ir = random_program(seed, 4, 4, 3);
         let out = compile(
             &ir,
-            &CompileOptions { scheduler: Scheduler::GateCount, backend: Backend::FaultTolerant },
+            &CompileOptions {
+                scheduler: Scheduler::GateCount,
+                backend: Backend::FaultTolerant,
+            },
         );
         let expected = expected_unitary(&ir, &out.emitted);
         let got = circuit_unitary(&out.circuit);
@@ -98,7 +101,10 @@ fn ft_backend_preserves_semantics_depth() {
         let ir = random_program(seed, 5, 5, 2);
         let out = compile(
             &ir,
-            &CompileOptions { scheduler: Scheduler::Depth, backend: Backend::FaultTolerant },
+            &CompileOptions {
+                scheduler: Scheduler::Depth,
+                backend: Backend::FaultTolerant,
+            },
         );
         let expected = expected_unitary(&ir, &out.emitted);
         let got = circuit_unitary(&out.circuit);
@@ -118,10 +124,15 @@ fn sc_backend_preserves_semantics_on_linear_device() {
             &ir,
             &CompileOptions {
                 scheduler: Scheduler::Depth,
-                backend: Backend::Superconducting { device: &device, noise: None },
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
             },
         );
-        assert!(out.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(out
+            .circuit
+            .respects_connectivity(|a, b| device.has_edge(a, b)));
         let expected = expected_unitary(&ir, &out.emitted);
         assert!(
             routed_circuit_implements(
@@ -145,10 +156,15 @@ fn sc_backend_preserves_semantics_on_grid_device() {
             &ir,
             &CompileOptions {
                 scheduler: Scheduler::GateCount,
-                backend: Backend::Superconducting { device: &device, noise: None },
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
             },
         );
-        assert!(out.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(out
+            .circuit
+            .respects_connectivity(|a, b| device.has_edge(a, b)));
         let expected = expected_unitary(&ir, &out.emitted);
         assert!(
             routed_circuit_implements(
@@ -193,7 +209,10 @@ fn single_gadget_matches_exponential_for_all_operators() {
             ir.push_block(PauliBlock::single(s.clone(), 0.7, Parameter::time(0.9)));
             let out = compile(
                 &ir,
-                &CompileOptions { scheduler: Scheduler::GateCount, backend: Backend::FaultTolerant },
+                &CompileOptions {
+                    scheduler: Scheduler::GateCount,
+                    backend: Backend::FaultTolerant,
+                },
             );
             let expected = exp_product(2, [(&s, 0.7 * 0.9)]);
             assert!(

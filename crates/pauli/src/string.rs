@@ -104,7 +104,11 @@ impl PauliString {
     /// Panics if `q >= self.num_qubits()`.
     #[inline]
     pub fn get(&self, q: usize) -> Pauli {
-        assert!(q < self.n, "qubit {q} out of range for {}-qubit string", self.n);
+        assert!(
+            q < self.n,
+            "qubit {q} out of range for {}-qubit string",
+            self.n
+        );
         let (w, b) = (q / 64, q % 64);
         Pauli::from_bits((self.x[w] >> b) & 1 == 1, (self.z[w] >> b) & 1 == 1)
     }
@@ -116,7 +120,11 @@ impl PauliString {
     /// Panics if `q >= self.num_qubits()`.
     #[inline]
     pub fn set(&mut self, q: usize, p: Pauli) {
-        assert!(q < self.n, "qubit {q} out of range for {}-qubit string", self.n);
+        assert!(
+            q < self.n,
+            "qubit {q} out of range for {}-qubit string",
+            self.n
+        );
         let (w, b) = (q / 64, q % 64);
         let (xb, zb) = p.bits();
         self.x[w] = (self.x[w] & !(1 << b)) | ((xb as u64) << b);
@@ -271,7 +279,10 @@ impl PauliString {
     /// blocks).
     pub fn merge_disjoint(&mut self, other: &PauliString) {
         self.assert_same_n(other);
-        debug_assert!(self.disjoint_support(other), "merge of overlapping supports");
+        debug_assert!(
+            self.disjoint_support(other),
+            "merge of overlapping supports"
+        );
         for w in 0..self.x.len() {
             self.x[w] |= other.x[w];
             self.z[w] |= other.z[w];
@@ -330,7 +341,12 @@ mod tests {
 
     #[test]
     fn parse_display_round_trip() {
-        for s in ["I", "XYZI", "YZIXZ", "ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ"] {
+        for s in [
+            "I",
+            "XYZI",
+            "YZIXZ",
+            "ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ",
+        ] {
             assert_eq!(ps(s).to_string(), s);
         }
     }
@@ -340,7 +356,9 @@ mod tests {
         assert!("".parse::<PauliString>().is_err());
         assert_eq!(
             "XQZ".parse::<PauliString>(),
-            Err(ParsePauliError { bad_char: Some('Q') })
+            Err(ParsePauliError {
+                bad_char: Some('Q')
+            })
         );
     }
 

@@ -131,7 +131,9 @@ impl Tableau {
 
     /// Whether every row is a (possibly signed) Z-only string.
     pub fn is_diagonal(&self) -> bool {
-        self.rows.iter().all(|row| row.x_words().iter().all(|&w| w == 0))
+        self.rows
+            .iter()
+            .all(|row| row.x_words().iter().all(|&w| w == 0))
     }
 
     /// Applies (and records) a Clifford gate, conjugating every row.

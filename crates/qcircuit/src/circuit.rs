@@ -47,7 +47,10 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit on `n` qubits.
     pub fn new(n: usize) -> Circuit {
-        Circuit { n, gates: Vec::new() }
+        Circuit {
+            n,
+            gates: Vec::new(),
+        }
     }
 
     /// The number of qubits.

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::math::{h_matrix, rx_matrix, ry_matrix, rz_matrix, C64, Mat2};
+use crate::math::{h_matrix, rx_matrix, ry_matrix, rz_matrix, Mat2, C64};
 
 /// A quantum gate on named qubit wires.
 ///

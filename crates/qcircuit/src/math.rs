@@ -48,13 +48,19 @@ impl C64 {
     /// `e^{iθ}`.
     #[inline]
     pub fn cis(theta: f64) -> C64 {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> C64 {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus.
@@ -80,9 +86,15 @@ impl C64 {
     pub fn mul_i_pow(self, k: u8) -> C64 {
         match k % 4 {
             0 => self,
-            1 => C64 { re: -self.im, im: self.re },
+            1 => C64 {
+                re: -self.im,
+                im: self.re,
+            },
             2 => -self,
-            _ => C64 { re: self.im, im: -self.re },
+            _ => C64 {
+                re: self.im,
+                im: -self.re,
+            },
         }
     }
 }
@@ -91,7 +103,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, rhs: C64) -> C64 {
-        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -107,7 +122,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, rhs: C64) -> C64 {
-        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -133,7 +151,10 @@ impl Mul<f64> for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, rhs: f64) -> C64 {
-        C64 { re: self.re * rhs, im: self.im * rhs }
+        C64 {
+            re: self.re * rhs,
+            im: self.im * rhs,
+        }
     }
 }
 
@@ -153,7 +174,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -179,10 +203,12 @@ pub struct Mat2 {
 impl Mat2 {
     /// The identity matrix.
     pub const IDENTITY: Mat2 = Mat2 {
-        m: [C64 { re: 1.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }, C64 {
-            re: 1.0,
-            im: 0.0,
-        }],
+        m: [
+            C64 { re: 1.0, im: 0.0 },
+            C64 { re: 0.0, im: 0.0 },
+            C64 { re: 0.0, im: 0.0 },
+            C64 { re: 1.0, im: 0.0 },
+        ],
     };
 
     /// Creates a matrix from rows `[[a, b], [c, d]]`.
@@ -207,7 +233,12 @@ impl Mat2 {
     /// Conjugate transpose.
     pub fn dagger(&self) -> Mat2 {
         Mat2 {
-            m: [self.m[0].conj(), self.m[2].conj(), self.m[1].conj(), self.m[3].conj()],
+            m: [
+                self.m[0].conj(),
+                self.m[2].conj(),
+                self.m[1].conj(),
+                self.m[3].conj(),
+            ],
         }
     }
 
@@ -245,7 +276,12 @@ impl Mat2 {
 
 /// `Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2})`.
 pub fn rz_matrix(theta: f64) -> Mat2 {
-    Mat2::new(C64::cis(-theta / 2.0), C64::ZERO, C64::ZERO, C64::cis(theta / 2.0))
+    Mat2::new(
+        C64::cis(-theta / 2.0),
+        C64::ZERO,
+        C64::ZERO,
+        C64::cis(theta / 2.0),
+    )
 }
 
 /// `Rx(θ) = exp(−iθX/2)`.

@@ -59,8 +59,7 @@ pub fn commutes(a: &Gate, b: &Gate) -> bool {
         }
         (g1, g2) => {
             // Single-qubit gates on the same wire.
-            (g1.is_z_diagonal() && g2.is_z_diagonal())
-                || (g1.is_x_diagonal() && g2.is_x_diagonal())
+            (g1.is_z_diagonal() && g2.is_z_diagonal()) || (g1.is_x_diagonal() && g2.is_x_diagonal())
         }
     }
 }

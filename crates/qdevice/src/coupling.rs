@@ -42,7 +42,12 @@ impl CouplingMap {
             }
         }
         let dist = all_pairs_bfs(n, &adj);
-        CouplingMap { n, adj, edges: dedup, dist }
+        CouplingMap {
+            n,
+            adj,
+            edges: dedup,
+            dist,
+        }
     }
 
     /// The number of physical qubits.
@@ -82,7 +87,12 @@ impl CouplingMap {
     /// (Dijkstra). Used by Alg. 3 line 6 ("shortest path (lowest error
     /// rate)"). Returns the node sequence including both endpoints; empty if
     /// unreachable.
-    pub fn shortest_path(&self, a: usize, b: usize, mut cost: impl FnMut(usize, usize) -> f64) -> Vec<usize> {
+    pub fn shortest_path(
+        &self,
+        a: usize,
+        b: usize,
+        mut cost: impl FnMut(usize, usize) -> f64,
+    ) -> Vec<usize> {
         if a == b {
             return vec![a];
         }
@@ -184,7 +194,11 @@ impl CouplingMap {
     ///
     /// Panics if `k > num_qubits()`.
     pub fn most_connected_subgraph(&self, k: usize) -> Vec<usize> {
-        assert!(k <= self.n, "requested {k} nodes from a {}-qubit device", self.n);
+        assert!(
+            k <= self.n,
+            "requested {k} nodes from a {}-qubit device",
+            self.n
+        );
         if k == 0 {
             return Vec::new();
         }
@@ -237,7 +251,11 @@ impl CouplingMap {
 
     /// Whether the whole device graph is connected.
     pub fn is_connected(&self) -> bool {
-        self.n == 0 || self.components_within(&(0..self.n).collect::<Vec<_>>()).len() == 1
+        self.n == 0
+            || self
+                .components_within(&(0..self.n).collect::<Vec<_>>())
+                .len()
+                == 1
     }
 }
 
@@ -286,7 +304,13 @@ mod tests {
     fn shortest_path_prefers_low_cost() {
         // Square 0-1-2-3-0; make edge (0,1) expensive.
         let m = CouplingMap::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-        let path = m.shortest_path(0, 2, |a, b| if (a.min(b), a.max(b)) == (0, 1) { 10.0 } else { 1.0 });
+        let path = m.shortest_path(0, 2, |a, b| {
+            if (a.min(b), a.max(b)) == (0, 1) {
+                10.0
+            } else {
+                1.0
+            }
+        });
         assert_eq!(path, vec![0, 3, 2]);
     }
 
@@ -319,7 +343,10 @@ mod tests {
         let set = m.most_connected_subgraph(4);
         assert_eq!(set.len(), 4);
         assert_eq!(m.components_within(&set).len(), 1);
-        assert!(set.contains(&4), "center of the grid should be picked: {set:?}");
+        assert!(
+            set.contains(&4),
+            "center of the grid should be picked: {set:?}"
+        );
     }
 
     #[test]

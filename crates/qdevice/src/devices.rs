@@ -113,7 +113,10 @@ pub fn grid(rows: usize, cols: usize) -> CouplingMap {
 ///
 /// Panics if `rows == 0` or `cols < 5`.
 pub fn heavy_hex(rows: usize, cols: usize) -> CouplingMap {
-    assert!(rows > 0 && cols >= 5, "heavy-hex needs rows ≥ 1 and cols ≥ 5");
+    assert!(
+        rows > 0 && cols >= 5,
+        "heavy-hex needs rows ≥ 1 and cols ≥ 5"
+    );
     // Row r occupies ids [r*(cols+spokes) ..]; simpler: lay out row qubits
     // first, then spoke qubits.
     let row_base = |r: usize| r * cols;
@@ -206,7 +209,10 @@ mod tests {
         for (rows, cols) in [(2, 9), (5, 11), (3, 5)] {
             let m = heavy_hex(rows, cols);
             assert!(m.is_connected(), "{rows}x{cols}");
-            assert!((0..m.num_qubits()).all(|q| m.degree(q) <= 3), "{rows}x{cols}");
+            assert!(
+                (0..m.num_qubits()).all(|q| m.degree(q) <= 3),
+                "{rows}x{cols}"
+            );
             assert!(m.num_qubits() > rows * cols, "spokes exist");
         }
     }

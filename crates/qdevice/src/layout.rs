@@ -46,7 +46,10 @@ impl Layout {
     ///
     /// Panics if `num_logical > num_physical`.
     pub fn trivial(num_logical: usize, num_physical: usize) -> Layout {
-        assert!(num_logical <= num_physical, "more logical than physical qubits");
+        assert!(
+            num_logical <= num_physical,
+            "more logical than physical qubits"
+        );
         Layout::from_l2p(num_physical, (0..num_logical).collect())
     }
 

@@ -47,14 +47,22 @@ impl NoiseModel {
     pub fn synthetic(map: &CouplingMap, seed: u64) -> NoiseModel {
         let mut state = seed ^ 0xD1B54A32D192ED03;
         let edges = map.edges().to_vec();
-        let cx_error = edges.iter().map(|_| 0.015 + 0.03 * splitmix(&mut state)).collect();
+        let cx_error = edges
+            .iter()
+            .map(|_| 0.015 + 0.03 * splitmix(&mut state))
+            .collect();
         let sq_error = (0..map.num_qubits())
             .map(|_| 0.0005 + 0.0015 * splitmix(&mut state))
             .collect();
         let readout_error = (0..map.num_qubits())
             .map(|_| 0.03 + 0.03 * splitmix(&mut state))
             .collect();
-        NoiseModel { cx_error, edges, sq_error, readout_error }
+        NoiseModel {
+            cx_error,
+            edges,
+            sq_error,
+            readout_error,
+        }
     }
 
     /// A uniform calibration (every CNOT `cx`, every single-qubit gate
@@ -140,7 +148,10 @@ mod tests {
             assert!((0.03..=0.06).contains(&a.readout_error(q)));
         }
         let c = NoiseModel::synthetic(&map, 8);
-        assert!(map.edges().iter().any(|&(x, y)| a.cx_error(x, y) != c.cx_error(x, y)));
+        assert!(map
+            .edges()
+            .iter()
+            .any(|&(x, y)| a.cx_error(x, y) != c.cx_error(x, y)));
     }
 
     #[test]
@@ -175,8 +186,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "not a coupled pair")]
-    fn cx_error_requires_an_edge()
-    {
+    fn cx_error_requires_an_edge() {
         let map = devices::linear(3);
         let nm = NoiseModel::uniform(&map, 0.01, 0.001, 0.01);
         nm.cx_error(0, 2);

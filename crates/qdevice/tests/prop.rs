@@ -5,8 +5,11 @@ use qdevice::{devices, CouplingMap, Layout, NoiseModel};
 
 fn arb_connected_map() -> impl Strategy<Value = CouplingMap> {
     // A random spanning tree plus random extra edges — always connected.
-    (2usize..12, proptest::collection::vec((any::<u32>(), any::<u32>()), 0..12)).prop_map(
-        |(n, extra)| {
+    (
+        2usize..12,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..12),
+    )
+        .prop_map(|(n, extra)| {
             let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v / 2, v)).collect();
             for (a, b) in extra {
                 let (a, b) = ((a as usize) % n, (b as usize) % n);
@@ -15,8 +18,7 @@ fn arb_connected_map() -> impl Strategy<Value = CouplingMap> {
                 }
             }
             CouplingMap::new(n, &edges)
-        },
-    )
+        })
 }
 
 proptest! {

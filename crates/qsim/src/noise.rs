@@ -29,7 +29,11 @@ pub fn sample_noisy(
     shots: usize,
     rng: &mut impl Rng,
 ) -> Vec<u64> {
-    let gate_errors: Vec<f64> = circuit.gates().iter().map(|g| noise.gate_error(g)).collect();
+    let gate_errors: Vec<f64> = circuit
+        .gates()
+        .iter()
+        .map(|g| noise.gate_error(g))
+        .collect();
     let readout: Vec<f64> = measured.iter().map(|&q| noise.readout_error(q)).collect();
     sample_noisy_rates(circuit, &gate_errors, &readout, measured, shots, rng)
 }
@@ -52,7 +56,11 @@ pub fn sample_noisy_rates(
     rng: &mut impl Rng,
 ) -> Vec<u64> {
     assert_eq!(gate_errors.len(), circuit.len(), "one error rate per gate");
-    assert_eq!(readout.len(), measured.len(), "one readout rate per measured qubit");
+    assert_eq!(
+        readout.len(),
+        measured.len(),
+        "one readout rate per measured qubit"
+    );
     let n = circuit.num_qubits();
     let mut out = Vec::with_capacity(shots);
     for _ in 0..shots {

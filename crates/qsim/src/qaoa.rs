@@ -16,7 +16,13 @@ pub type WeightedEdge = (usize, usize, f64);
 pub fn cut_value(edges: &[WeightedEdge], x: u64) -> f64 {
     edges
         .iter()
-        .map(|&(u, v, w)| if ((x >> u) ^ (x >> v)) & 1 == 1 { w } else { 0.0 })
+        .map(|&(u, v, w)| {
+            if ((x >> u) ^ (x >> v)) & 1 == 1 {
+                w
+            } else {
+                0.0
+            }
+        })
         .sum()
 }
 

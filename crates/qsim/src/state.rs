@@ -1,6 +1,6 @@
 //! Dense state-vector simulation.
 
-use qcircuit::math::{C64, Mat2};
+use qcircuit::math::{Mat2, C64};
 use qcircuit::{Circuit, Gate};
 use rand::Rng;
 

@@ -40,7 +40,11 @@ pub fn pauli_matrix(p: &PauliString) -> Columns {
                 }
                 Pauli::Y => {
                     // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
-                    phase = if bit == 0 { phase * C64::I } else { phase * (-C64::I) };
+                    phase = if bit == 0 {
+                        phase * C64::I
+                    } else {
+                        phase * (-C64::I)
+                    };
                 }
             }
         }
@@ -70,7 +74,10 @@ pub fn exp_pauli(p: &PauliString, theta: f64) -> Columns {
 /// The operator of a sequence of exponentials applied in circuit order:
 /// the first `(P, θ)` acts first, so the matrix product is
 /// `exp(iθ_k P_k) ⋯ exp(iθ_1 P_1)`.
-pub fn exp_product<'a>(n: usize, terms: impl IntoIterator<Item = (&'a PauliString, f64)>) -> Columns {
+pub fn exp_product<'a>(
+    n: usize,
+    terms: impl IntoIterator<Item = (&'a PauliString, f64)>,
+) -> Columns {
     let mut acc = identity(1 << n);
     for (p, theta) in terms {
         assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
@@ -95,7 +102,10 @@ mod tests {
             let p = ps(s);
             let m = pauli_matrix(&p);
             let m2 = matmul(&m, &m);
-            assert!(equal_up_to_phase(&m2, &identity(m.len()), 1e-12), "{s}² ≠ I");
+            assert!(
+                equal_up_to_phase(&m2, &identity(m.len()), 1e-12),
+                "{s}² ≠ I"
+            );
             for j in 0..m.len() {
                 for i in 0..m.len() {
                     let a = m[j][i];

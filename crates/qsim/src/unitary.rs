@@ -116,7 +116,11 @@ pub fn routed_circuit_implements(
 ) -> bool {
     let k = initial.len();
     assert_eq!(final_.len(), k, "layout size mismatch");
-    assert_eq!(u_logical.len(), 1 << k, "logical operator dimension mismatch");
+    assert_eq!(
+        u_logical.len(),
+        1 << k,
+        "logical operator dimension mismatch"
+    );
     let n = circuit.num_qubits();
     let embed = |x: usize, l2p: &[usize]| -> u64 {
         let mut p = 0u64;
@@ -198,7 +202,11 @@ mod tests {
         a.push(Gate::H(0));
         let mut b = Circuit::new(1);
         b.push(Gate::X(0));
-        assert!(!equal_up_to_phase(&circuit_unitary(&a), &circuit_unitary(&b), 1e-10));
+        assert!(!equal_up_to_phase(
+            &circuit_unitary(&a),
+            &circuit_unitary(&b),
+            1e-10
+        ));
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct PauliSum {
 impl PauliSum {
     /// The zero operator on `n` qubits.
     pub fn zero(n: usize) -> PauliSum {
-        PauliSum { n, terms: HashMap::new() }
+        PauliSum {
+            n,
+            terms: HashMap::new(),
+        }
     }
 
     /// The number of qubits.
@@ -179,11 +182,7 @@ mod tests {
     #[test]
     fn annihilation_has_z_chain() {
         let a2 = annihilation(4, 2);
-        let terms: Vec<String> = a2
-            .terms
-            .keys()
-            .map(|s| s.to_string())
-            .collect();
+        let terms: Vec<String> = a2.terms.keys().map(|s| s.to_string()).collect();
         assert_eq!(terms.len(), 2);
         assert!(terms.contains(&"IXZZ".to_string()), "{terms:?}");
         assert!(terms.contains(&"IYZZ".to_string()));

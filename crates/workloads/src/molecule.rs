@@ -102,7 +102,9 @@ pub fn named_molecule_ir(name: &str, dt: f64) -> PauliIR {
         .find(|(m, _, _)| *m == name)
         .unwrap_or_else(|| panic!("unknown molecule `{name}`"));
     // Seed derived from the name for reproducibility.
-    let seed = name.bytes().fold(0xCAFEu64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+    let seed = name
+        .bytes()
+        .fold(0xCAFEu64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
     molecule_like_ir(*n, *target, dt, seed)
 }
 

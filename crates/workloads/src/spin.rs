@@ -90,10 +90,7 @@ mod tests {
         assert_eq!(ir.num_qubits(), 30);
         assert_eq!(ir.total_strings(), 29);
         assert_eq!(ir.num_blocks(), 29);
-        assert!(ir
-            .blocks()
-            .iter()
-            .all(|b| b.terms[0].string.weight() == 2));
+        assert!(ir.blocks().iter().all(|b| b.terms[0].string.weight() == 2));
     }
 
     #[test]

@@ -114,10 +114,22 @@ pub fn generate(name: &str) -> Benchmark {
             qaoa::tsp_ir(5, &graphs::random_distances(5, 55), 0.4, 10.0),
         ),
         "Ising-1D" => (BackendClass::FaultTolerant, spin::ising_ir(&[30], 1.0, 0.1)),
-        "Ising-2D" => (BackendClass::FaultTolerant, spin::ising_ir(&[5, 6], 1.0, 0.1)),
-        "Ising-3D" => (BackendClass::FaultTolerant, spin::ising_ir(&[2, 3, 5], 1.0, 0.1)),
-        "Heisen-1D" => (BackendClass::FaultTolerant, spin::heisenberg_ir(&[30], 1.0, 0.1)),
-        "Heisen-2D" => (BackendClass::FaultTolerant, spin::heisenberg_ir(&[5, 6], 1.0, 0.1)),
+        "Ising-2D" => (
+            BackendClass::FaultTolerant,
+            spin::ising_ir(&[5, 6], 1.0, 0.1),
+        ),
+        "Ising-3D" => (
+            BackendClass::FaultTolerant,
+            spin::ising_ir(&[2, 3, 5], 1.0, 0.1),
+        ),
+        "Heisen-1D" => (
+            BackendClass::FaultTolerant,
+            spin::heisenberg_ir(&[30], 1.0, 0.1),
+        ),
+        "Heisen-2D" => (
+            BackendClass::FaultTolerant,
+            spin::heisenberg_ir(&[5, 6], 1.0, 0.1),
+        ),
         "Heisen-3D" => (
             BackendClass::FaultTolerant,
             spin::heisenberg_ir(&[2, 3, 5], 1.0, 0.1),
@@ -126,15 +138,37 @@ pub fn generate(name: &str) -> Benchmark {
             BackendClass::FaultTolerant,
             molecule::named_molecule_ir(name, 1.0),
         ),
-        "Rand-30" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(30, 0.1, 30)),
-        "Rand-40" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(40, 0.1, 40)),
-        "Rand-50" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(50, 0.1, 50)),
-        "Rand-60" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(60, 0.1, 60)),
-        "Rand-70" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(70, 0.1, 70)),
-        "Rand-80" => (BackendClass::FaultTolerant, random::random_hamiltonian_ir(80, 0.1, 80)),
+        "Rand-30" => (
+            BackendClass::FaultTolerant,
+            random::random_hamiltonian_ir(30, 0.1, 30),
+        ),
+        "Rand-40" => (
+            BackendClass::FaultTolerant,
+            random::random_hamiltonian_ir(40, 0.1, 40),
+        ),
+        "Rand-50" => (
+            BackendClass::FaultTolerant,
+            random::random_hamiltonian_ir(50, 0.1, 50),
+        ),
+        "Rand-60" => (
+            BackendClass::FaultTolerant,
+            random::random_hamiltonian_ir(60, 0.1, 60),
+        ),
+        "Rand-70" => (
+            BackendClass::FaultTolerant,
+            random::random_hamiltonian_ir(70, 0.1, 70),
+        ),
+        "Rand-80" => (
+            BackendClass::FaultTolerant,
+            random::random_hamiltonian_ir(80, 0.1, 80),
+        ),
         other => panic!("unknown benchmark `{other}`"),
     };
-    Benchmark { name: name.to_string(), class, ir }
+    Benchmark {
+        name: name.to_string(),
+        class,
+        ir,
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +217,9 @@ mod tests {
 
     #[test]
     fn classes_match_paper_split() {
-        assert!(SC_NAMES.iter().all(|n| generate(n).class == BackendClass::Superconducting));
+        assert!(SC_NAMES
+            .iter()
+            .all(|n| generate(n).class == BackendClass::Superconducting));
         assert_eq!(generate("Ising-1D").class, BackendClass::FaultTolerant);
     }
 

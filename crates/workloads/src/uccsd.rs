@@ -27,13 +27,15 @@ pub fn uccsd_ir(n: usize, seed: u64) -> PauliIR {
     let occ_spatial = n_spatial / 2;
     // Spin orbital layout: spatial p, spin σ ∈ {0, 1} → index 2p + σ.
     let spin_orbitals = |occupied: bool, spin: usize| -> Vec<usize> {
-        let range = if occupied { 0..occ_spatial } else { occ_spatial..n_spatial };
+        let range = if occupied {
+            0..occ_spatial
+        } else {
+            occ_spatial..n_spatial
+        };
         range.map(|p| 2 * p + spin).collect()
     };
     let mut ir = PauliIR::new(n);
-    let param = |label: String, rng: &mut StdRng| {
-        Parameter::named(label, rng.gen_range(-0.5..0.5))
-    };
+    let param = |label: String, rng: &mut StdRng| Parameter::named(label, rng.gen_range(-0.5..0.5));
     // Spin-conserving singles.
     let mut t = 0usize;
     for spin in 0..2 {

@@ -17,7 +17,10 @@ fn main() {
     let small = spin::heisenberg_ir(&[6], 1.0, 0.05);
     let out = compile(
         &small,
-        &CompileOptions { scheduler: Scheduler::Depth, backend: Backend::FaultTolerant },
+        &CompileOptions {
+            scheduler: Scheduler::Depth,
+            backend: Backend::FaultTolerant,
+        },
     );
     let expected = exp_product(6, out.emitted.iter().map(|(s, t)| (s, *t)));
     let ok = equal_up_to_phase(&circuit_unitary(&out.circuit), &expected, 1e-8);
@@ -32,7 +35,10 @@ fn main() {
     for (label, scheduler) in [("GCO", Scheduler::GateCount), ("DO ", Scheduler::Depth)] {
         let out = compile(
             &chain,
-            &CompileOptions { scheduler, backend: Backend::FaultTolerant },
+            &CompileOptions {
+                scheduler,
+                backend: Backend::FaultTolerant,
+            },
         );
         let s = out.circuit.stats();
         println!(

@@ -35,7 +35,10 @@ fn main() {
         &ir,
         &CompileOptions {
             scheduler: Scheduler::Depth,
-            backend: Backend::Superconducting { device: &device, noise: Some(&noise) },
+            backend: Backend::Superconducting {
+                device: &device,
+                noise: Some(&noise),
+            },
         },
     );
     let ph_clean = generic::qiskit_l3_like(&ph.circuit, generic::Mapping::AlreadyMapped);
@@ -62,7 +65,10 @@ fn main() {
     );
     let (qc_full, qc_meas) = compose(&qc_clean.circuit, &qc.initial_l2p, &qc.final_l2p);
 
-    for (name, full, meas) in [("Paulihedral", &ph_full, &ph_meas), ("QAOA compiler", &qc_full, &qc_meas)] {
+    for (name, full, meas) in [
+        ("Paulihedral", &ph_full, &ph_meas),
+        ("QAOA compiler", &qc_full, &qc_meas),
+    ] {
         let stats = full.stats();
         // Ideal success probability: mass on basis states whose measured
         // bits form an optimal cut (must match the logical ansatz).

@@ -23,15 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         {(IZZI, 0.186), 0.5};
         ",
     )?;
-    println!("input: {} blocks, {} strings on {} qubits\n", ir.num_blocks(), ir.total_strings(), ir.num_qubits());
+    println!(
+        "input: {} blocks, {} strings on {} qubits\n",
+        ir.num_blocks(),
+        ir.total_strings(),
+        ir.num_qubits()
+    );
 
     // Fault-tolerant backend: gate-count-oriented scheduling.
     let ft = compile(
         &ir,
-        &CompileOptions { scheduler: Scheduler::GateCount, backend: Backend::FaultTolerant },
+        &CompileOptions {
+            scheduler: Scheduler::GateCount,
+            backend: Backend::FaultTolerant,
+        },
     );
     let s = ft.circuit.stats();
-    println!("FT backend : {} CNOT, {} single, depth {}", s.cnot, s.single, s.depth);
+    println!(
+        "FT backend : {} CNOT, {} single, depth {}",
+        s.cnot, s.single, s.depth
+    );
 
     // Superconducting backend: depth-oriented scheduling on a 2x3 grid.
     let device = devices::grid(2, 3);
@@ -39,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &ir,
         &CompileOptions {
             scheduler: Scheduler::Depth,
-            backend: Backend::Superconducting { device: &device, noise: None },
+            backend: Backend::Superconducting {
+                device: &device,
+                noise: None,
+            },
         },
     );
     let s = sc.circuit.mapped_stats();

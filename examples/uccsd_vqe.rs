@@ -28,23 +28,36 @@ fn main() {
         &ir,
         &CompileOptions {
             scheduler: Scheduler::Depth,
-            backend: Backend::Superconducting { device: &device, noise: None },
+            backend: Backend::Superconducting {
+                device: &device,
+                noise: None,
+            },
         },
     );
     let ph_final = generic::qiskit_l3_like(&ph.circuit, Mapping::AlreadyMapped);
     let s = ph_final.circuit.stats();
-    println!("Paulihedral   : {:6} CNOT {:6} single, depth {:6}", s.cnot, s.single, s.depth);
+    println!(
+        "Paulihedral   : {:6} CNOT {:6} single, depth {:6}",
+        s.cnot, s.single, s.depth
+    );
 
     // Baseline: naive gadget synthesis + SABRE routing + the same cleanup.
     let nv = naive::synthesize(&ir);
     let routed = generic::qiskit_l3_like(&nv.circuit, Mapping::Route(&device));
     let s = routed.circuit.stats();
-    println!("naive + SABRE : {:6} CNOT {:6} single, depth {:6}", s.cnot, s.single, s.depth);
+    println!(
+        "naive + SABRE : {:6} CNOT {:6} single, depth {:6}",
+        s.cnot, s.single, s.depth
+    );
 
     // Export the compiled kernel for an OpenQASM consumer.
     let qasm = to_qasm(&ph_final.circuit, QasmOptions::default());
     let path = std::env::temp_dir().join("uccsd12_paulihedral.qasm");
     if std::fs::write(&path, &qasm).is_ok() {
-        println!("wrote {} lines of OpenQASM to {}", qasm.lines().count(), path.display());
+        println!(
+            "wrote {} lines of OpenQASM to {}",
+            qasm.lines().count(),
+            path.display()
+        );
     }
 }

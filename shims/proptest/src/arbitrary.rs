@@ -1,0 +1,35 @@
+//! `any::<T>()` for types with a canonical full-domain strategy.
+
+use std::marker::PhantomData;
+
+use rand::{Rng, Standard};
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Returns the full-domain strategy for this type.
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Generates any value of `T` (uniform over the type's domain).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen::<T>()
+    }
+}
+
+/// The strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}

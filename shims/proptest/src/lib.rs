@@ -1,0 +1,120 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map`, [`prop_oneof!`], [`Just`](strategy::Just), ranges and tuples
+//! as strategies, [`collection::vec`], `any::<T>()`, the `prop_assert*`
+//! macros, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed; cases are replayed
+//!   exactly, not minimized.
+//! * **Deterministic by default.** Case seeds derive from a fixed base seed
+//!   (override with `PROPTEST_RNG_SEED`), so CI runs are reproducible. Set
+//!   `PROPTEST_CASES` to change the case count.
+//! * **Regression files.** `proptest-regressions/<file-stem>.txt` next to the
+//!   owning crate's manifest is honored: lines of the form `cc <16-hex-seed>`
+//!   are replayed before the random cases, and the runner prints the `cc`
+//!   line to add when a random case fails.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test, with an optional message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!("[prop_assert] {}", format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{:?} == {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (#[test] $($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default())
+            #[test] $($rest)*
+        );
+    };
+    (@impl ($config:expr)
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run_property_test(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    |rng| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                        $body
+                    },
+                );
+            }
+        )+
+    };
+}

@@ -1,0 +1,172 @@
+//! The case runner: regression replay, deterministic case seeds, and
+//! failure reporting.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use rand::SeedableRng;
+
+use crate::strategy::TestRng;
+
+/// Fixed base seed so runs are reproducible without any environment setup.
+const DEFAULT_BASE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_RNG_SEED") {
+        Ok(v) => v
+            .parse()
+            .or_else(|_| u64::from_str_radix(v.trim_start_matches("0x"), 16))
+            .unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED must be an integer, got {v:?}")),
+        Err(_) => DEFAULT_BASE_SEED,
+    }
+}
+
+fn case_count(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+        Err(_) => config.cases,
+    }
+}
+
+/// FNV-1a, to give every test its own seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// `proptest-regressions/<file-stem>.txt` next to the owning crate's
+/// manifest (mirrors real proptest's layout for in-crate test files).
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Parses `cc <16-hex-digit-seed> [# comment]` lines; everything else
+/// (comments, blanks, unrecognized lines) is ignored.
+fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            u64::from_str_radix(token, 16).ok()
+        })
+        .collect()
+}
+
+/// Runs `body` once per seed: first every seed in the regression file, then
+/// `config.cases` seeds derived deterministically from the base seed and
+/// the test name. On failure, reports the seed and the `cc` line to add.
+pub fn run_property_test<F>(
+    config: &ProptestConfig,
+    test_name: &str,
+    manifest_dir: &str,
+    source_file: &str,
+    body: F,
+) where
+    F: Fn(&mut TestRng),
+{
+    let reg_path = regression_path(manifest_dir, source_file);
+    let stream = base_seed() ^ hash_name(test_name);
+
+    for (label, seed) in regression_seeds(&reg_path)
+        .into_iter()
+        .map(|s| ("regression", s))
+        .chain((0..case_count(config)).map(|i| ("random", stream.wrapping_add(i as u64))))
+    {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(cause) = result {
+            eprintln!(
+                "proptest shim: {test_name} failed on {label} case, seed {seed:#018x}.\n\
+                 To pin it as a regression, add the line\n    cc {seed:016x}\n\
+                 to {}",
+                reg_path.display()
+            );
+            panic::resume_unwind(cause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_lines_parse() {
+        let dir = std::env::temp_dir().join("ph-proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("sample.txt");
+        std::fs::write(
+            &file,
+            "# comment\n\ncc 00000000000000ff # shrinks to x = 3\nbogus line\ncc 0010\n",
+        )
+        .unwrap();
+        assert_eq!(regression_seeds(&file), vec![0xff, 0x10]);
+        assert!(regression_seeds(&dir.join("missing.txt")).is_empty());
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(hash_name("a::b"), hash_name("a::c"));
+    }
+
+    #[test]
+    fn failing_case_reports_and_propagates() {
+        let config = ProptestConfig::with_cases(3);
+        let hit = std::cell::Cell::new(0u32);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_property_test(&config, "t", "/nonexistent", "x.rs", |_rng| {
+                hit.set(hit.get() + 1);
+                if hit.get() == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(hit.get(), 2, "stops at the first failing case");
+    }
+
+    #[test]
+    fn passing_run_executes_all_cases() {
+        let config = ProptestConfig::with_cases(7);
+        let hit = std::cell::Cell::new(0u32);
+        run_property_test(&config, "t2", "/nonexistent", "x.rs", |_rng| {
+            hit.set(hit.get() + 1);
+        });
+        assert_eq!(hit.get(), 7);
+    }
+}

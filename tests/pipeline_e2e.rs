@@ -17,22 +17,32 @@ fn every_sc_benchmark_compiles_conformant_on_manhattan() {
             &b.ir,
             &CompileOptions {
                 scheduler: Scheduler::Depth,
-                backend: Backend::Superconducting { device: &device, noise: None },
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
             },
         );
         assert!(
-            out.circuit.respects_connectivity(|a, b| device.has_edge(a, b)),
+            out.circuit
+                .respects_connectivity(|a, b| device.has_edge(a, b)),
             "{name} violates coupling constraints"
         );
         assert_eq!(
             out.emitted.len(),
-            b.ir.blocks().iter().flat_map(|bl| &bl.terms).filter(|t| !t.string.is_identity()).count(),
+            b.ir.blocks()
+                .iter()
+                .flat_map(|bl| &bl.terms)
+                .filter(|t| !t.string.is_identity())
+                .count(),
             "{name} lost strings"
         );
         // The generic stage must keep conformance (it never routes an
         // already-mapped circuit through non-edges).
         let cleaned = generic::qiskit_l3_like(&out.circuit, Mapping::AlreadyMapped);
-        assert!(cleaned.circuit.respects_connectivity(|a, b| device.has_edge(a, b)));
+        assert!(cleaned
+            .circuit
+            .respects_connectivity(|a, b| device.has_edge(a, b)));
     }
 }
 
@@ -47,7 +57,10 @@ fn ph_beats_naive_plus_router_on_every_small_sc_benchmark() {
             &b.ir,
             &CompileOptions {
                 scheduler: Scheduler::Depth,
-                backend: Backend::Superconducting { device: &device, noise: None },
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
             },
         );
         let ph_final = generic::qiskit_l3_like(&ph.circuit, Mapping::AlreadyMapped);
@@ -72,7 +85,10 @@ fn ph_beats_tk_on_uccsd_when_mapped() {
         &b.ir,
         &CompileOptions {
             scheduler: Scheduler::Depth,
-            backend: Backend::Superconducting { device: &device, noise: None },
+            backend: Backend::Superconducting {
+                device: &device,
+                noise: None,
+            },
         },
     );
     let ph_final = generic::qiskit_l3_like(&ph.circuit, Mapping::AlreadyMapped);
@@ -92,11 +108,17 @@ fn do_scheduling_crushes_depth_on_spin_chains() {
     let b = suite::generate("Ising-1D");
     let gco = compile(
         &b.ir,
-        &CompileOptions { scheduler: Scheduler::GateCount, backend: Backend::FaultTolerant },
+        &CompileOptions {
+            scheduler: Scheduler::GateCount,
+            backend: Backend::FaultTolerant,
+        },
     );
     let do_ = compile(
         &b.ir,
-        &CompileOptions { scheduler: Scheduler::Depth, backend: Backend::FaultTolerant },
+        &CompileOptions {
+            scheduler: Scheduler::Depth,
+            backend: Backend::FaultTolerant,
+        },
     );
     assert_eq!(gco.circuit.stats().cnot, do_.circuit.stats().cnot);
     assert!(
@@ -114,11 +136,18 @@ fn compiled_gate_counts_never_exceed_naive() {
         let (naive_cnot, naive_single) = naive::naive_counts(&b.ir);
         let out = compile(
             &b.ir,
-            &CompileOptions { scheduler: Scheduler::GateCount, backend: Backend::FaultTolerant },
+            &CompileOptions {
+                scheduler: Scheduler::GateCount,
+                backend: Backend::FaultTolerant,
+            },
         );
         let s = out.circuit.stats();
         assert!(s.cnot <= naive_cnot, "{name}: {} > {naive_cnot}", s.cnot);
-        assert!(s.single <= naive_single, "{name}: {} > {naive_single}", s.single);
+        assert!(
+            s.single <= naive_single,
+            "{name}: {} > {naive_single}",
+            s.single
+        );
     }
 }
 
@@ -127,13 +156,12 @@ fn tk_never_loses_strings_and_clusters_are_sound() {
     for name in ["Heisen-1D", "Rand-20-0.1", "UCCSD-8"] {
         let b = suite::generate(name);
         let r = tk::compile_tk(&b.ir);
-        let expected = b
-            .ir
-            .blocks()
-            .iter()
-            .flat_map(|bl| &bl.terms)
-            .filter(|t| !t.string.is_identity())
-            .count();
+        let expected =
+            b.ir.blocks()
+                .iter()
+                .flat_map(|bl| &bl.terms)
+                .filter(|t| !t.string.is_identity())
+                .count();
         assert_eq!(r.emitted.len(), expected, "{name}");
         assert!(r.num_clusters >= 1);
     }

@@ -2,10 +2,10 @@
 //! single-qubit fusion never change a circuit's operator; scheduling never
 //! drops, duplicates or splits blocks; the IR parser round-trips.
 
+use pauli::{Pauli, PauliString, PauliTerm};
 use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
 use paulihedral::parse::{parse_program, print_program};
 use paulihedral::schedule::{schedule_depth, schedule_gco, Layer};
-use pauli::{Pauli, PauliString, PauliTerm};
 use proptest::prelude::*;
 use qcircuit::{fusion, peephole, Circuit, Gate};
 use qsim::unitary::{circuit_unitary, equal_up_to_phase};

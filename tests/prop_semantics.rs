@@ -7,9 +7,9 @@
 
 use baselines::generic::{self, Mapping};
 use baselines::tk;
+use pauli::{Pauli, PauliString, PauliTerm};
 use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
 use paulihedral::{compile, Backend, CompileOptions, Scheduler};
-use pauli::{Pauli, PauliString, PauliTerm};
 use proptest::prelude::*;
 use qdevice::devices;
 use qsim::trotter::exp_product;
@@ -50,7 +50,10 @@ fn arb_block() -> impl Strategy<Value = PauliBlock> {
                 .into_iter()
                 .map(|(s, w)| PauliTerm::new(s, if w == 0.0 { 0.25 } else { w }))
                 .collect();
-            PauliBlock::new(terms, Parameter::time(if param == 0.0 { 0.3 } else { param }))
+            PauliBlock::new(
+                terms,
+                Parameter::time(if param == 0.0 { 0.3 } else { param }),
+            )
         })
 }
 

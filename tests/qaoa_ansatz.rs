@@ -64,7 +64,10 @@ fn compiled_ansatz_matches_logical_success_probability() {
         &ir,
         &CompileOptions {
             scheduler: Scheduler::Depth,
-            backend: Backend::Superconducting { device: &device, noise: None },
+            backend: Backend::Superconducting {
+                device: &device,
+                noise: None,
+            },
         },
     );
     let cleaned = generic::qiskit_l3_like(&ph.circuit, Mapping::AlreadyMapped);

@@ -1,0 +1,67 @@
+//! Workspace smoke test: every named benchmark in `workloads::suite`
+//! generates a non-empty, well-formed Pauli IR, so suite regressions
+//! (a renamed benchmark, a generator returning an empty program, a
+//! zero-width register) fail fast before the expensive evaluation
+//! binaries ever run.
+
+use workloads::suite::{self, BackendClass};
+
+#[test]
+fn every_suite_benchmark_generates_nonempty_ir() {
+    let names = suite::all_names();
+    assert_eq!(names.len(), 31, "Table 1 lists 31 benchmarks");
+    for name in names {
+        let b = suite::generate(name);
+        assert_eq!(b.name, name);
+        assert!(b.ir.num_qubits() > 0, "{name}: zero-width register");
+        assert!(b.ir.num_blocks() > 0, "{name}: empty program");
+        assert!(b.ir.total_strings() > 0, "{name}: no Pauli strings");
+        for (bi, block) in b.ir.blocks().iter().enumerate() {
+            assert!(!block.terms.is_empty(), "{name}: empty block {bi}");
+            for t in &block.terms {
+                assert_eq!(
+                    t.string.num_qubits(),
+                    b.ir.num_qubits(),
+                    "{name}: term width mismatch in block {bi}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_generation_is_deterministic() {
+    // Evaluation binaries assume fixed seeds per name; a drifting
+    // generator would silently invalidate cross-run comparisons.
+    for name in ["UCCSD-8", "Rand-20-0.3", "Rand-30", "NaCl"] {
+        let a = suite::generate(name);
+        let b = suite::generate(name);
+        assert_eq!(a.ir.num_blocks(), b.ir.num_blocks(), "{name}");
+        let dump = |ir: &paulihedral::ir::PauliIR| {
+            ir.blocks()
+                .iter()
+                .flat_map(|bl| &bl.terms)
+                .map(|t| (t.string.to_string(), t.weight.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            dump(&a.ir),
+            dump(&b.ir),
+            "{name}: generation not deterministic"
+        );
+    }
+}
+
+#[test]
+fn backend_classes_partition_the_suite() {
+    let sc = suite::SC_NAMES.len();
+    let ft = suite::FT_NAMES.len();
+    assert_eq!(sc + ft, suite::all_names().len());
+    for name in suite::SC_NAMES {
+        assert_eq!(
+            suite::generate(name).class,
+            BackendClass::Superconducting,
+            "{name}"
+        );
+    }
+}
