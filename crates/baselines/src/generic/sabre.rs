@@ -286,7 +286,7 @@ mod tests {
         c.push(Gate::Cx(0, 3));
         c.push(Gate::Cx(1, 2));
         let r = route(&c, &device);
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for &p in &r.final_l2p {
             assert!(!seen[p]);
             seen[p] = true;

@@ -34,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+
 pub mod ir;
 pub mod parse;
 pub mod schedule;
@@ -54,6 +56,20 @@ pub enum Scheduler {
     GateCount,
     /// Depth-oriented layer packing (Alg. 1, "DO").
     Depth,
+    /// Adaptive pass management (§7): pick GCO or DO per program via
+    /// [`choose_scheduler`].
+    Auto,
+}
+
+impl Scheduler {
+    /// Resolves [`Scheduler::Auto`] against a concrete program; the two
+    /// concrete variants return themselves.
+    pub fn resolve(self, ir: &PauliIR) -> Scheduler {
+        match self {
+            Scheduler::Auto => choose_scheduler(ir),
+            concrete => concrete,
+        }
+    }
 }
 
 /// Which technology-dependent backend pass to run (paper §5).
@@ -79,6 +95,43 @@ pub struct CompileOptions<'a> {
     pub backend: Backend<'a>,
 }
 
+/// Why a compilation request was rejected up front.
+///
+/// Produced by [`try_compile`] (and the `ph_engine` pass manager built on
+/// top of it) instead of the panics [`compile`] raises.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program has no blocks — there is nothing to schedule.
+    EmptyProgram,
+    /// The SC device has fewer physical qubits than the program needs.
+    DeviceTooSmall {
+        /// Physical qubits on the device.
+        device: usize,
+        /// Logical qubits the program needs.
+        program: usize,
+    },
+    /// The SC device coupling map is disconnected, so qubits cannot be
+    /// routed together.
+    DeviceDisconnected,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyProgram => write!(f, "program has no pauli blocks"),
+            CompileError::DeviceTooSmall { device, program } => write!(
+                f,
+                "program needs {program} qubits, device has only {device}"
+            ),
+            CompileError::DeviceDisconnected => {
+                write!(f, "device coupling map is disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 /// A compiled simulation kernel.
 #[derive(Clone, Debug)]
 pub struct Compiled {
@@ -95,11 +148,13 @@ pub struct Compiled {
     pub final_l2p: Option<Vec<usize>>,
 }
 
-/// Runs the selected scheduling pass.
+/// Runs the selected scheduling pass ([`Scheduler::Auto`] resolves through
+/// [`choose_scheduler`] first).
 pub fn run_scheduler(ir: &PauliIR, scheduler: Scheduler) -> Vec<Layer> {
-    match scheduler {
+    match scheduler.resolve(ir) {
         Scheduler::GateCount => schedule::schedule_gco(ir),
         Scheduler::Depth => schedule::schedule_depth(ir),
+        Scheduler::Auto => unreachable!("resolve() returns a concrete scheduler"),
     }
 }
 
@@ -126,15 +181,42 @@ pub fn choose_scheduler(ir: &PauliIR) -> Scheduler {
     }
 }
 
+/// Checks a compilation request without running it: non-empty program,
+/// and (for the SC backend) a connected device at least as wide as the
+/// program.
+///
+/// # Errors
+///
+/// Returns the [`CompileError`] that [`try_compile`] would return.
+pub fn validate(ir: &PauliIR, backend: &Backend<'_>) -> Result<(), CompileError> {
+    if ir.num_blocks() == 0 {
+        return Err(CompileError::EmptyProgram);
+    }
+    if let Backend::Superconducting { device, .. } = backend {
+        if device.num_qubits() < ir.num_qubits() {
+            return Err(CompileError::DeviceTooSmall {
+                device: device.num_qubits(),
+                program: ir.num_qubits(),
+            });
+        }
+        if !device.is_connected() {
+            return Err(CompileError::DeviceDisconnected);
+        }
+    }
+    Ok(())
+}
+
 /// Compiles a Pauli IR program: scheduling followed by block-wise
 /// backend synthesis and a peephole clean-up.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the SC device is disconnected or smaller than the program.
-pub fn compile(ir: &PauliIR, options: &CompileOptions<'_>) -> Compiled {
+/// Returns a [`CompileError`] for an empty program or for an SC device
+/// that is disconnected or smaller than the program.
+pub fn try_compile(ir: &PauliIR, options: &CompileOptions<'_>) -> Result<Compiled, CompileError> {
+    validate(ir, &options.backend)?;
     let layers = run_scheduler(ir, options.scheduler);
-    match options.backend {
+    Ok(match options.backend {
         Backend::FaultTolerant => {
             let r = synth::ft::synthesize(ir.num_qubits(), &layers);
             Compiled {
@@ -153,6 +235,20 @@ pub fn compile(ir: &PauliIR, options: &CompileOptions<'_>) -> Compiled {
                 final_l2p: Some(r.final_l2p),
             }
         }
+    })
+}
+
+/// Compiles a Pauli IR program, panicking on invalid input. Thin wrapper
+/// over [`try_compile`] for callers that treat bad input as a bug.
+///
+/// # Panics
+///
+/// Panics on an empty program or if the SC device is disconnected or
+/// smaller than the program.
+pub fn compile(ir: &PauliIR, options: &CompileOptions<'_>) -> Compiled {
+    match try_compile(ir, options) {
+        Ok(compiled) => compiled,
+        Err(e) => panic!("compile: {e}"),
     }
 }
 
@@ -220,6 +316,94 @@ mod tests {
             );
             assert_eq!(out.emitted.len(), 3);
         }
+    }
+
+    #[test]
+    fn try_compile_rejects_empty_programs() {
+        let empty = PauliIR::new(3);
+        let err = try_compile(
+            &empty,
+            &CompileOptions {
+                scheduler: Scheduler::Auto,
+                backend: Backend::FaultTolerant,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CompileError::EmptyProgram);
+    }
+
+    #[test]
+    fn try_compile_rejects_undersized_devices() {
+        let device = devices::linear(2);
+        let err = try_compile(
+            &small_ir(),
+            &CompileOptions {
+                scheduler: Scheduler::Depth,
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::DeviceTooSmall {
+                device: 2,
+                program: 3
+            }
+        );
+    }
+
+    #[test]
+    fn try_compile_rejects_disconnected_devices() {
+        let device = qdevice::CouplingMap::new(4, &[(0, 1), (2, 3)]);
+        let err = try_compile(
+            &small_ir(),
+            &CompileOptions {
+                scheduler: Scheduler::Depth,
+                backend: Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CompileError::DeviceDisconnected);
+    }
+
+    #[test]
+    #[should_panic(expected = "program has no pauli blocks")]
+    fn compile_panics_where_try_compile_errors() {
+        compile(
+            &PauliIR::new(2),
+            &CompileOptions {
+                scheduler: Scheduler::GateCount,
+                backend: Backend::FaultTolerant,
+            },
+        );
+    }
+
+    #[test]
+    fn auto_scheduler_matches_the_resolved_choice() {
+        // small_ir is 2-local → Auto resolves to Depth.
+        assert_eq!(Scheduler::Auto.resolve(&small_ir()), Scheduler::Depth);
+        let auto = compile(
+            &small_ir(),
+            &CompileOptions {
+                scheduler: Scheduler::Auto,
+                backend: Backend::FaultTolerant,
+            },
+        );
+        let manual = compile(
+            &small_ir(),
+            &CompileOptions {
+                scheduler: Scheduler::Depth,
+                backend: Backend::FaultTolerant,
+            },
+        );
+        assert_eq!(auto.circuit, manual.circuit);
+        assert_eq!(auto.emitted, manual.emitted);
     }
 
     #[test]

@@ -275,4 +275,79 @@ mod tests {
         assert!(parse_program("").is_err());
         assert!(parse_program("{1};").is_err());
     }
+
+    #[test]
+    fn error_offsets_point_at_the_failure() {
+        // The bad string `ZQ` sits at bytes 18–19 of the second block;
+        // the cursor reports the position just past the offending token.
+        let err = parse_program("{(ZZ, 1.0), 1};\n{(ZQ, 1.0), 1};").unwrap_err();
+        assert_eq!(err.offset, 20, "{err}");
+        assert!(err.message.contains("bad pauli string `ZQ`"), "{err}");
+
+        // Empty input fails at offset 0.
+        let err = parse_program("").unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.message.contains("empty program"));
+
+        // A width mismatch points into the second block, not the first.
+        let err = parse_program("{(ZZ, 1.0), 1}; {(ZZZ, 1.0), 1};").unwrap_err();
+        assert!(err.offset > 15, "{err}");
+    }
+
+    #[test]
+    fn malformed_blocks_report_specific_errors() {
+        // Missing separator between string and weight.
+        let err = parse_program("{(ZZ 1.0), 1};").unwrap_err();
+        assert!(err.message.contains("expected `,`"), "{err}");
+        // Unparsable weight.
+        let err = parse_program("{(ZZ, w8), 1};").unwrap_err();
+        assert!(err.message.contains("bad weight `w8`"), "{err}");
+        // Unterminated block.
+        let err = parse_program("{(ZZ, 1.0), 1").unwrap_err();
+        assert!(err.message.contains('}'), "{err}");
+        // Missing `;` between blocks.
+        let err = parse_program("{(ZZ, 1.0), 1} {(XX, 1.0), 1};").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+        // A block with only a parameter and no strings.
+        let err = parse_program("{theta};").unwrap_err();
+        assert!(err.message.contains("no pauli strings"), "{err}");
+        // Unknown identifier where a Pauli string belongs.
+        let err = parse_program("{(theta, 1.0), 1};").unwrap_err();
+        assert!(err.message.contains("bad pauli string `theta`"), "{err}");
+    }
+
+    #[test]
+    fn printer_output_reparses_to_the_same_program() {
+        // Fig. 5-style program covering every surface form: multi-string
+        // blocks, named parameters, negative/fractional weights, comments.
+        let text = "
+            # UCCSD fragment
+            {(IIXY, 0.5), (IIYX, -0.5), theta1};
+            {(XYII, -0.5), (YXII, 0.5), theta2};
+            {(ZZII, 0.134), 0.5};
+            {(IZIZ, -0.25), (ZIZI, 0.75), 2};
+        ";
+        let ir = parse_program(text).unwrap();
+        let printed = print_program(&ir);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(ir.num_qubits(), reparsed.num_qubits());
+        assert_eq!(ir.num_blocks(), reparsed.num_blocks());
+        for (a, b) in ir.blocks().iter().zip(reparsed.blocks()) {
+            assert_eq!(a.terms, b.terms);
+            assert_eq!(a.parameter.name, b.parameter.name);
+        }
+        // print → parse → print is a fixpoint.
+        assert_eq!(printed, print_program(&reparsed));
+    }
+
+    #[test]
+    fn numeric_round_trip_preserves_parameter_values() {
+        let text = "{(ZZY, 0.5), 0.125}; {(ZZI, -0.3), 2.5};";
+        let ir = parse_program(text).unwrap();
+        let reparsed = parse_program(&print_program(&ir)).unwrap();
+        for (a, b) in ir.blocks().iter().zip(reparsed.blocks()) {
+            assert_eq!(a.parameter.value, b.parameter.value);
+            assert_eq!(a, b);
+        }
+    }
 }

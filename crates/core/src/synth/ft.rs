@@ -100,7 +100,7 @@ pub fn order_strings(n: usize, layers: &[Layer]) -> Vec<(PauliString, f64)> {
             for ta in a.blocks.iter().flat_map(|bl| &bl.terms) {
                 for tb in b.blocks.iter().flat_map(|bl| &bl.terms) {
                     let ov = ta.string.overlap(&tb.string);
-                    if best.as_ref().map_or(true, |(bo, _, _)| ov > *bo) {
+                    if best.as_ref().is_none_or(|(bo, _, _)| ov > *bo) {
                         best = Some((ov, ta.string.clone(), tb.string.clone()));
                     }
                 }
@@ -118,7 +118,7 @@ pub fn order_strings(n: usize, layers: &[Layer]) -> Vec<(PauliString, f64)> {
         // containing the end anchor goes last; others keep schedule order.
         let contains = |bl: &crate::ir::PauliBlock, s: &Option<PauliString>| {
             s.as_ref()
-                .map_or(false, |s| bl.terms.iter().any(|t| &t.string == s))
+                .is_some_and(|s| bl.terms.iter().any(|t| &t.string == s))
         };
         let mut firsts = Vec::new();
         let mut mids = Vec::new();
@@ -165,16 +165,25 @@ pub fn order_strings(n: usize, layers: &[Layer]) -> Vec<(PauliString, f64)> {
     out
 }
 
-/// Synthesizes scheduled layers for the FT backend.
-pub fn synthesize(n: usize, layers: &[Layer]) -> FtResult {
+/// Synthesizes scheduled layers for the FT backend *without* the final
+/// peephole clean-up. The pass manager in `ph_engine` uses this to run
+/// (and instrument) the peephole as its own pass; the returned
+/// `peephole` report is all zeros.
+pub fn synthesize_unoptimized(n: usize, layers: &[Layer]) -> FtResult {
     let emitted = order_strings(n, layers);
-    let mut circuit = chain::synthesize_sequence(n, &emitted);
-    let peephole = peephole::optimize(&mut circuit);
+    let circuit = chain::synthesize_sequence(n, &emitted);
     FtResult {
         circuit,
         emitted,
-        peephole,
+        peephole: PeepholeReport::default(),
     }
+}
+
+/// Synthesizes scheduled layers for the FT backend.
+pub fn synthesize(n: usize, layers: &[Layer]) -> FtResult {
+    let mut r = synthesize_unoptimized(n, layers);
+    r.peephole = peephole::optimize(&mut r.circuit);
+    r
 }
 
 #[cfg(test)]

@@ -130,9 +130,9 @@ fn connect_positions(
     layout: &mut Layout,
     circuit: &mut Circuit,
     allowed: Option<&[bool]>,
-    touched: &mut Vec<bool>,
+    touched: &mut [bool],
 ) -> Result<(), Deferred> {
-    let ok = |p: usize| allowed.map_or(true, |m| m[p]);
+    let ok = |p: usize| allowed.is_none_or(|m| m[p]);
     let cost = |u: usize, v: usize| -> f64 {
         if !ok(u) || !ok(v) {
             return 1e18;
@@ -175,7 +175,7 @@ fn connect_positions(
                 if path.is_empty() {
                     continue;
                 }
-                if best.as_ref().map_or(true, |b| path.len() < b.len()) {
+                if best.as_ref().is_none_or(|b| path.len() < b.len()) {
                     best = Some(path);
                 }
             }
@@ -329,7 +329,7 @@ fn process_block(
     // nothing is free, pick the SWAP with the best *block-scope* score —
     // this is the "much larger search scope" of §6.2: the swap is judged
     // against every pending string of the block, not one gadget.
-    let ok = |p: usize| allowed.map_or(true, |m| m[p]);
+    let ok = |p: usize| allowed.is_none_or(|m| m[p]);
     let mut items: Vec<(PauliString, f64)> = block
         .terms
         .iter()
@@ -430,13 +430,16 @@ fn process_block(
     Ok((0..n_phys).filter(|&p| touched[p]).collect())
 }
 
-/// Compiles scheduled layers onto a superconducting device (Alg. 3).
+/// Compiles scheduled layers onto a superconducting device (Alg. 3)
+/// *without* the final peephole clean-up. The pass manager in `ph_engine`
+/// uses this to run (and instrument) the peephole as its own pass; the
+/// returned `peephole` report is all zeros.
 ///
 /// # Panics
 ///
 /// Panics if the device is disconnected or has fewer qubits than the
 /// program.
-pub fn synthesize(
+pub fn synthesize_unoptimized(
     n_logical: usize,
     layers: &[Layer],
     device: &CouplingMap,
@@ -533,14 +536,30 @@ pub fn synthesize(
         .map_err(|_| unreachable!("unconstrained blocks never defer"));
     }
 
-    let report = peephole::optimize(&mut circuit);
     ScResult {
         circuit,
         initial_l2p: initial,
         final_l2p: layout.l2p().to_vec(),
         emitted,
-        peephole: report,
+        peephole: PeepholeReport::default(),
     }
+}
+
+/// Compiles scheduled layers onto a superconducting device (Alg. 3).
+///
+/// # Panics
+///
+/// Panics if the device is disconnected or has fewer qubits than the
+/// program.
+pub fn synthesize(
+    n_logical: usize,
+    layers: &[Layer],
+    device: &CouplingMap,
+    noise: Option<&NoiseModel>,
+) -> ScResult {
+    let mut r = synthesize_unoptimized(n_logical, layers, device, noise);
+    r.peephole = peephole::optimize(&mut r.circuit);
+    r
 }
 
 #[cfg(test)]

@@ -1,0 +1,146 @@
+//! The multi-threaded batch driver.
+//!
+//! A plain `std::thread` worker pool (the build environment has no
+//! registry access, so no rayon): jobs are pulled off a shared atomic
+//! counter and results land in their original slots, so output order is
+//! deterministic regardless of interleaving. Workers share the engine's
+//! compilation cache, so duplicate jobs inside one batch are compiled
+//! once.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use paulihedral::ir::PauliIR;
+use paulihedral::{CompileError, Scheduler};
+
+use crate::engine::{Engine, EngineOutput};
+use crate::pass::Target;
+use crate::pipeline::Pipeline;
+
+/// One unit of batch work.
+#[derive(Clone, Debug)]
+pub struct CompileJob {
+    /// Label carried into the result (file name, benchmark name, …).
+    pub name: String,
+    /// The program.
+    pub ir: PauliIR,
+    /// Target override; `None` uses the engine's default target.
+    pub target: Option<Target>,
+    /// Scheduler override; `None` uses the pipeline's configured pass.
+    pub scheduler: Option<Scheduler>,
+}
+
+impl CompileJob {
+    /// A job against the engine's default target and pipeline scheduler.
+    pub fn named(name: impl Into<String>, ir: PauliIR) -> CompileJob {
+        CompileJob {
+            name: name.into(),
+            ir,
+            target: None,
+            scheduler: None,
+        }
+    }
+
+    /// Sets a per-job target.
+    pub fn on_target(mut self, target: Target) -> CompileJob {
+        self.target = Some(target);
+        self
+    }
+
+    /// Sets a per-job scheduler.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> CompileJob {
+        self.scheduler = Some(scheduler);
+        self
+    }
+}
+
+/// One job's outcome, in the batch's original order.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// The job's label.
+    pub name: String,
+    /// The compiled artifact and report, or why the job was rejected.
+    pub outcome: Result<EngineOutput, CompileError>,
+    /// Wall time this job spent inside a worker (queue wait excluded).
+    pub wall: Duration,
+}
+
+/// A worker pool over an [`Engine`].
+#[derive(Debug)]
+pub struct BatchEngine {
+    engine: Engine,
+    threads: usize,
+}
+
+impl BatchEngine {
+    /// A batch engine sized to the machine
+    /// (`std::thread::available_parallelism`, min 1).
+    pub fn new(pipeline: Pipeline, target: Target) -> BatchEngine {
+        let threads = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchEngine {
+            engine: Engine::new(pipeline, target),
+            threads,
+        }
+    }
+
+    /// Overrides the worker count (minimum 1).
+    pub fn with_threads(mut self, threads: usize) -> BatchEngine {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying engine (cache statistics, one-off compiles).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compiles every job, fanning out across the worker pool. Results
+    /// come back in job order; per-job failures are values, not batch
+    /// failures.
+    pub fn compile_all(&self, jobs: Vec<CompileJob>) -> Vec<BatchResult> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(jobs.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<BatchResult>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let t0 = Instant::now();
+                    let outcome =
+                        self.engine
+                            .compile_with(&job.ir, job.target.as_ref(), job.scheduler);
+                    *slots[i].lock().expect("batch slot poisoned") = Some(BatchResult {
+                        name: job.name.clone(),
+                        outcome,
+                        wall: t0.elapsed(),
+                    });
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot poisoned")
+                    .expect("every job slot filled before scope exit")
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,326 @@
+//! `phc` — the Paulihedral command-line compiler, driven by the
+//! `ph_engine` pass manager.
+//!
+//! Single-program mode (prints cost metrics, optionally OpenQASM 2.0):
+//!
+//! ```text
+//! phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC]
+//!                 [--scheduler auto|gco|do] [--qasm OUT.qasm] [--report]
+//! ```
+//!
+//! Batch mode (compiles many programs across a worker pool and emits a
+//! JSON report with per-pass instrumentation and cache counters):
+//!
+//! ```text
+//! phc batch INPUT1.pauli INPUT2.pauli … [--backend …] [--scheduler …]
+//!           [--threads N] [--json REPORT.json]
+//! ```
+//!
+//! Example input file:
+//!
+//! ```text
+//! {(IIXY, 0.5), (IIYX, -0.5), theta1};
+//! {(ZZII, 0.134), 0.5};
+//! ```
+//!
+//! (This binary lives in the engine crate rather than `crates/core`
+//! because it drives the engine, and the engine depends on the core
+//! library — the reverse dependency would be a package cycle.)
+
+use std::process::ExitCode;
+
+use paulihedral::parse::parse_program;
+use paulihedral::Scheduler;
+use ph_engine::{BatchEngine, BatchResult, CompileJob, Engine, Pipeline, Target};
+use qcircuit::qasm::{to_qasm, QasmOptions};
+use qdevice::devices;
+
+fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Positional (non-flag, non-flag-value) arguments.
+fn positionals(args: &[String]) -> Vec<String> {
+    let value_flags = ["--scheduler", "--qasm", "--backend", "--threads", "--json"];
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+fn parse_target(spec: &str, n_program: usize) -> Result<Target, String> {
+    match spec {
+        "ft" => Ok(Target::FaultTolerant),
+        "manhattan" => Ok(Target::superconducting(devices::manhattan_65())),
+        "melbourne" => Ok(Target::superconducting(devices::melbourne_16())),
+        other => {
+            if let Some(n) = other.strip_prefix("linear:") {
+                let n: usize = n.parse().map_err(|_| format!("bad linear size `{n}`"))?;
+                return Ok(Target::superconducting(devices::linear(n.max(n_program))));
+            }
+            if let Some(dims) = other.strip_prefix("grid:") {
+                let (r, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad grid spec `{dims}`, expected RxC"))?;
+                let r: usize = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
+                let c: usize = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
+                return Ok(Target::superconducting(devices::grid(r, c)));
+            }
+            Err(format!(
+                "unknown backend `{other}` (ft|manhattan|melbourne|linear:N|grid:RxC)"
+            ))
+        }
+    }
+}
+
+fn parse_scheduler(args: &[String]) -> Result<Scheduler, String> {
+    match value_of(args, "--scheduler").as_deref() {
+        None | Some("auto") => Ok(Scheduler::Auto),
+        Some("gco") => Ok(Scheduler::GateCount),
+        Some("do") => Ok(Scheduler::Depth),
+        Some(other) => Err(format!("unknown scheduler `{other}` (auto|gco|do)")),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_report(results: &[BatchResult], engine: &Engine, threads: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"jobs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        match &r.outcome {
+            Ok(o) => {
+                let stats = o.compiled.circuit.mapped_stats();
+                let passes: Vec<String> = o
+                    .report
+                    .passes
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cnot_delta\": {}, \
+                             \"single_delta\": {}, \"depth_delta\": {}, \"note\": \"{}\"}}",
+                            json_escape(&p.name),
+                            p.wall.as_secs_f64() * 1e3,
+                            p.cnot_delta(),
+                            p.single_delta(),
+                            p.depth_delta(),
+                            json_escape(&p.note)
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"ok\": true, \"cache_hit\": {}, \
+                     \"key\": \"{:016x}\", \"cnot\": {}, \"single\": {}, \"total\": {}, \
+                     \"depth\": {}, \"wall_ms\": {:.3}, \"passes\": [{}]}}{comma}\n",
+                    json_escape(&r.name),
+                    o.report.cache_hit,
+                    o.report.key,
+                    stats.cnot,
+                    stats.single,
+                    stats.total,
+                    stats.depth,
+                    r.wall.as_secs_f64() * 1e3,
+                    passes.join(", ")
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"ok\": false, \"error\": \"{}\"}}{comma}\n",
+                    json_escape(&r.name),
+                    json_escape(&e.to_string())
+                ));
+            }
+        }
+    }
+    out.push_str("  ],\n");
+    let cs = engine.cache_stats();
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}\n",
+        cs.hits, cs.misses, cs.entries
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn run_batch(args: &[String]) -> Result<(), String> {
+    let files = positionals(args);
+    if files.is_empty() {
+        return Err(
+            "usage: phc batch INPUT1.pauli INPUT2.pauli … [--backend B] [--scheduler S] \
+             [--threads N] [--json OUT.json]"
+                .into(),
+        );
+    }
+    let scheduler = parse_scheduler(args)?;
+    let mut jobs = Vec::new();
+    let mut max_qubits = 0;
+    for f in &files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        let ir = parse_program(&text).map_err(|e| format!("{f}: {e}"))?;
+        max_qubits = max_qubits.max(ir.num_qubits());
+        jobs.push(CompileJob::named(f.clone(), ir));
+    }
+    let target = parse_target(
+        value_of(args, "--backend").as_deref().unwrap_or("ft"),
+        max_qubits,
+    )?;
+
+    let mut engine = BatchEngine::new(Pipeline::standard(scheduler), target);
+    if let Some(t) = value_of(args, "--threads") {
+        let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
+        engine = engine.with_threads(t);
+    }
+    let threads = engine.threads();
+    let results = engine.compile_all(jobs);
+
+    let mut failures = 0;
+    for r in &results {
+        match &r.outcome {
+            Ok(o) => {
+                let stats = o.compiled.circuit.mapped_stats();
+                eprintln!(
+                    "{}: CNOT {}, single {}, depth {}{}",
+                    r.name,
+                    stats.cnot,
+                    stats.single,
+                    stats.depth,
+                    if o.report.cache_hit {
+                        " (cache hit)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("{}: error: {e}", r.name);
+            }
+        }
+    }
+    let cs = engine.engine().cache_stats();
+    eprintln!(
+        "{} jobs on {} threads: {} cache hits, {} misses",
+        results.len(),
+        threads,
+        cs.hits,
+        cs.misses
+    );
+
+    let json = json_report(&results, engine.engine(), threads);
+    match value_of(args, "--json") {
+        Some(path) if path != "-" => {
+            std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        _ => print!("{json}"),
+    }
+    if failures > 0 {
+        return Err(format!("{failures} job(s) failed"));
+    }
+    Ok(())
+}
+
+fn run_single(args: &[String]) -> Result<(), String> {
+    let input = positionals(args).into_iter().next().ok_or(
+        "usage: phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC] \
+         [--scheduler auto|gco|do] [--qasm OUT.qasm] [--report]\n       phc batch INPUT… \
+         [--threads N] [--json OUT.json]",
+    )?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let ir = parse_program(&text).map_err(|e| format!("{input}: {e}"))?;
+    eprintln!(
+        "parsed {}: {} blocks, {} strings, {} qubits",
+        input,
+        ir.num_blocks(),
+        ir.total_strings(),
+        ir.num_qubits()
+    );
+
+    let scheduler = parse_scheduler(args)?;
+    let target = parse_target(
+        value_of(args, "--backend").as_deref().unwrap_or("ft"),
+        ir.num_qubits(),
+    )?;
+
+    let engine = Engine::new(Pipeline::standard(scheduler), target);
+    let out = engine.compile(&ir).map_err(|e| e.to_string())?;
+    let stats = out.compiled.circuit.mapped_stats();
+    println!(
+        // `Auto` resolves per program — print the scheduler that actually ran.
+        "scheduler={:?} backend={} : CNOT {}, single {}, total {}, depth {}",
+        scheduler.resolve(&ir),
+        value_of(args, "--backend").unwrap_or_else(|| "ft".into()),
+        stats.cnot,
+        stats.single,
+        stats.total,
+        stats.depth
+    );
+    if flag_present(args, "--report") {
+        print!("{}", out.report.table());
+    }
+    if let (Some(init), Some(fin)) = (&out.compiled.initial_l2p, &out.compiled.final_l2p) {
+        println!("initial layout: {init:?}");
+        println!("final   layout: {fin:?}");
+    }
+    if let Some(path) = value_of(args, "--qasm") {
+        let qasm = to_qasm(
+            &out.compiled.circuit.decompose_swaps(),
+            QasmOptions::default(),
+        );
+        std::fs::write(&path, qasm).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("batch") => run_batch(&args[1..]),
+        _ => run_single(&args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("phc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

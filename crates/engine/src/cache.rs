@@ -1,0 +1,229 @@
+//! Content-addressed compilation cache.
+//!
+//! Keys are canonical 64-bit FNV-1a fingerprints of the complete request:
+//! the Pauli IR (operator words, weights, parameters), the pipeline
+//! configuration (pass signature sequence), and the target (device edges
+//! and noise figures). Identical requests — repeated Trotter steps,
+//! re-compiled suite benchmarks — are served from memory and counted.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use paulihedral::ir::PauliIR;
+use paulihedral::Compiled;
+
+use crate::report::CompileReport;
+
+/// Streaming 64-bit FNV-1a hasher.
+///
+/// Deliberately *not* `std::hash::DefaultHasher`: FNV-1a is specified, so
+/// keys are stable across processes and Rust releases — a prerequisite for
+/// the ROADMAP's cross-process cache follow-on.
+#[derive(Clone, Debug)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (widened to `u64` for cross-platform stability).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by bit pattern (distinguishes `-0.0` from `0.0`;
+    /// canonical for every value a compilation request can contain).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated 64-bit key.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// Feeds a canonical encoding of the IR into the fingerprint: qubit count,
+/// block structure, operator words, weights, and parameters.
+pub fn fingerprint_ir(ir: &PauliIR, h: &mut Fingerprint) {
+    h.write_usize(ir.num_qubits());
+    h.write_usize(ir.num_blocks());
+    for block in ir.blocks() {
+        h.write_usize(block.terms.len());
+        for term in &block.terms {
+            for &w in term.string.x_words() {
+                h.write_u64(w);
+            }
+            for &w in term.string.z_words() {
+                h.write_u64(w);
+            }
+            h.write_f64(term.weight);
+        }
+        match &block.parameter.name {
+            Some(name) => h.write_str(name),
+            None => h.write_str(""),
+        }
+        h.write_f64(block.parameter.value);
+    }
+}
+
+/// What one cache entry stores: the compiled artifact plus the report of
+/// the compilation that produced it.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The compiled artifact (shared, never copied out).
+    pub compiled: Arc<Compiled>,
+    /// The per-pass report of the original compilation.
+    pub report: CompileReport,
+}
+
+/// Cache effectiveness counters, exposed through
+/// [`crate::Engine::cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// A thread-safe, content-addressed map from request fingerprints to
+/// compiled artifacts.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Looks up a key, bumping the hit/miss counters.
+    pub fn lookup(&self, key: u64) -> Option<CacheEntry> {
+        let entry = self
+            .entries
+            .lock()
+            .expect("cache poisoned")
+            .get(&key)
+            .cloned();
+        match &entry {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        entry
+    }
+
+    /// Stores a compilation result. Concurrent duplicate inserts (two
+    /// workers racing on the same key) are benign: both values are
+    /// identical by construction, the second simply wins.
+    pub fn insert(&self, key: u64, entry: CacheEntry) {
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, entry);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache poisoned").len(),
+        }
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        let mut h = Fingerprint::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fingerprint::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fingerprint::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn ir_fingerprint_is_sensitive_to_every_field() {
+        use paulihedral::parse::parse_program;
+        let key = |text: &str| {
+            let ir = parse_program(text).unwrap();
+            let mut h = Fingerprint::new();
+            fingerprint_ir(&ir, &mut h);
+            h.finish()
+        };
+        let base = key("{(ZZY, 0.5), 1.0}; {(ZZI, 0.3), 1.0};");
+        assert_eq!(base, key("{(ZZY, 0.5), 1.0}; {(ZZI, 0.3), 1.0};"));
+        // Operator, weight, parameter, and block-structure changes all
+        // produce different keys.
+        assert_ne!(base, key("{(ZZX, 0.5), 1.0}; {(ZZI, 0.3), 1.0};"));
+        assert_ne!(base, key("{(ZZY, 0.25), 1.0}; {(ZZI, 0.3), 1.0};"));
+        assert_ne!(base, key("{(ZZY, 0.5), 2.0}; {(ZZI, 0.3), 1.0};"));
+        assert_ne!(base, key("{(ZZY, 0.5), (ZZI, 0.3), 1.0};"));
+        assert_ne!(base, key("{(ZZY, 0.5), theta}; {(ZZI, 0.3), 1.0};"));
+    }
+
+    #[test]
+    fn counters_track_lookups() {
+        let cache = CompileCache::new();
+        assert!(cache.lookup(42).is_none());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                entries: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The single-program engine: validate → cache lookup → pipeline →
+//! cache fill, with full per-pass instrumentation.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use paulihedral::ir::PauliIR;
+use paulihedral::{validate, CompileError, Compiled, Scheduler};
+
+use crate::cache::{fingerprint_ir, CacheEntry, CacheStats, CompileCache, Fingerprint};
+use crate::pass::{PassContext, Target};
+use crate::pipeline::Pipeline;
+use crate::report::{CompileReport, PassRecord};
+use crate::unit::CompileUnit;
+
+/// What one compilation returns: the (shared) artifact and its report.
+#[derive(Clone, Debug)]
+pub struct EngineOutput {
+    /// The compiled kernel. `Arc` because cache hits share one allocation.
+    pub compiled: Arc<Compiled>,
+    /// Per-pass instrumentation for this request.
+    pub report: CompileReport,
+}
+
+/// A compilation engine: one pipeline, one default target, one cache.
+///
+/// The engine is `Sync` — `&Engine` is all the batch driver's worker
+/// threads need.
+#[derive(Debug)]
+pub struct Engine {
+    pipeline: Pipeline,
+    target: Target,
+    cache: CompileCache,
+    cache_enabled: bool,
+}
+
+impl Engine {
+    /// An engine with caching enabled.
+    pub fn new(pipeline: Pipeline, target: Target) -> Engine {
+        Engine {
+            pipeline,
+            target,
+            cache: CompileCache::new(),
+            cache_enabled: true,
+        }
+    }
+
+    /// Disables the compilation cache (for benchmarking flows that must
+    /// measure real compile time on every request).
+    pub fn without_cache(mut self) -> Engine {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// The engine's pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The engine's default target.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// Cache hit/miss/entry counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Compiles one program against the default target.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for an empty program or an unusable SC
+    /// device (see [`paulihedral::validate`]).
+    pub fn compile(&self, ir: &PauliIR) -> Result<EngineOutput, CompileError> {
+        self.compile_with(ir, None, None)
+    }
+
+    /// Compiles one program with optional per-request target and
+    /// scheduler overrides (the batch driver's entry point).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::compile`].
+    pub fn compile_with(
+        &self,
+        ir: &PauliIR,
+        target: Option<&Target>,
+        scheduler: Option<Scheduler>,
+    ) -> Result<EngineOutput, CompileError> {
+        let t0 = Instant::now();
+        let target = target.unwrap_or(&self.target);
+        validate(ir, &target.as_backend())?;
+        let ctx = PassContext {
+            target,
+            scheduler_override: scheduler,
+        };
+
+        let key = self.request_key(ir, &ctx);
+        if self.cache_enabled {
+            if let Some(entry) = self.cache.lookup(key) {
+                let mut report = entry.report.clone();
+                report.cache_hit = true;
+                report.total = t0.elapsed();
+                return Ok(EngineOutput {
+                    compiled: entry.compiled,
+                    report,
+                });
+            }
+        }
+
+        let mut unit = CompileUnit::new(ir.clone());
+        let mut records: Vec<PassRecord> = Vec::with_capacity(self.pipeline.passes().len());
+        for pass in self.pipeline.passes() {
+            let before = unit.stats();
+            let t_pass = Instant::now();
+            let note = pass.run(&mut unit, &ctx)?;
+            records.push(PassRecord {
+                name: pass.name().to_string(),
+                wall: t_pass.elapsed(),
+                before,
+                after: unit.stats(),
+                note,
+            });
+        }
+
+        let compiled = Arc::new(unit.into_compiled());
+        let report = CompileReport {
+            passes: records,
+            total: t0.elapsed(),
+            cache_hit: false,
+            key,
+        };
+        if self.cache_enabled {
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    compiled: Arc::clone(&compiled),
+                    report: report.clone(),
+                },
+            );
+        }
+        Ok(EngineOutput { compiled, report })
+    }
+
+    /// The content-addressed key of a request: canonical hashes of the IR,
+    /// the pipeline signature (with overrides applied), and the target.
+    fn request_key(&self, ir: &PauliIR, ctx: &PassContext<'_>) -> u64 {
+        let mut h = Fingerprint::new();
+        fingerprint_ir(ir, &mut h);
+        h.write_str(&self.pipeline.signature(ctx));
+        ctx.target.fingerprint(&mut h);
+        h.finish()
+    }
+}

@@ -1,0 +1,75 @@
+//! The unit of work a pipeline transforms: one program on its way from
+//! Pauli IR to a synthesized circuit.
+
+use pauli::PauliString;
+use paulihedral::ir::PauliIR;
+use paulihedral::schedule::Layer;
+use paulihedral::{Compiled, Scheduler};
+use qcircuit::{Circuit, CircuitStats};
+
+/// Mutable state threaded through a [`crate::Pipeline`].
+///
+/// A freshly created unit holds only the IR; the scheduling pass fills in
+/// `layers`, the synthesis pass produces `circuit`/`emitted` (and the
+/// layouts on the SC target), and clean-up passes rewrite `circuit` in
+/// place.
+#[derive(Clone, Debug)]
+pub struct CompileUnit {
+    /// The input program.
+    pub ir: PauliIR,
+    /// Scheduled layers (present after a scheduling pass).
+    pub layers: Option<Vec<Layer>>,
+    /// The concrete scheduler the scheduling pass ran (`Auto` resolved).
+    pub scheduler_used: Option<Scheduler>,
+    /// The synthesized circuit (present after a synthesis pass).
+    pub circuit: Option<Circuit>,
+    /// The `(string, θ)` sequence in emission order.
+    pub emitted: Vec<(PauliString, f64)>,
+    /// Initial logical→physical layout (SC target only).
+    pub initial_l2p: Option<Vec<usize>>,
+    /// Final logical→physical layout (SC target only).
+    pub final_l2p: Option<Vec<usize>>,
+}
+
+impl CompileUnit {
+    /// Wraps an IR as an unprocessed unit.
+    pub fn new(ir: PauliIR) -> CompileUnit {
+        CompileUnit {
+            ir,
+            layers: None,
+            scheduler_used: None,
+            circuit: None,
+            emitted: Vec::new(),
+            initial_l2p: None,
+            final_l2p: None,
+        }
+    }
+
+    /// Metrics of the current circuit (all zeros before synthesis) —
+    /// the before/after snapshots in [`crate::PassRecord`].
+    pub fn stats(&self) -> CircuitStats {
+        self.circuit
+            .as_ref()
+            .map(Circuit::stats)
+            .unwrap_or_default()
+    }
+
+    /// Finalizes the unit into the core crate's [`Compiled`] artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no synthesis pass has produced a circuit — a
+    /// misconfigured pipeline, which is a programming error rather than a
+    /// bad-input condition.
+    pub fn into_compiled(self) -> Compiled {
+        let circuit = self
+            .circuit
+            .expect("pipeline finished without a synthesis pass producing a circuit");
+        Compiled {
+            circuit,
+            emitted: self.emitted,
+            initial_l2p: self.initial_l2p,
+            final_l2p: self.final_l2p,
+        }
+    }
+}

@@ -16,7 +16,7 @@ use std::fmt;
 /// assert_eq!(Pauli::from_bits(true, true), Pauli::Y);
 /// assert_eq!(Pauli::Y.bits(), (true, true));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pauli {
     /// The Pauli-X operator.
     X = 0,
@@ -25,6 +25,7 @@ pub enum Pauli {
     /// The Pauli-Z operator.
     Z = 2,
     /// The identity operator.
+    #[default]
     I = 3,
 }
 
@@ -75,6 +76,9 @@ impl Pauli {
     /// Returns `(p, k)` with the phase exponent `k ∈ {0, 1, 3}` of `i`
     /// (`k = 1` for cyclic products such as `X·Y = iZ`, `k = 3` for
     /// anti-cyclic ones such as `Y·X = −iZ`).
+    // Not `std::ops::Mul`: the product carries a phase exponent alongside
+    // the operator, so the trait's single-value signature does not fit.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Pauli) -> (Pauli, u8) {
         use Pauli::{I, X, Y, Z};
         match (self, other) {
@@ -109,12 +113,6 @@ impl Pauli {
             Pauli::Y => 'Y',
             Pauli::Z => 'Z',
         }
-    }
-}
-
-impl Default for Pauli {
-    fn default() -> Self {
-        Pauli::I
     }
 }
 

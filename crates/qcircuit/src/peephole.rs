@@ -49,9 +49,7 @@ pub fn commutes(a: &Gate, b: &Gate) -> bool {
         (Gate::Cx(c1, t1), Gate::Cx(c2, t2)) => {
             // Share a control or share a target: commute. A control hitting
             // the other's target (or vice versa): not in general.
-            (c1 == c2 && t1 != t2 && t1 != c2 && c1 != t2)
-                || (t1 == t2 && c1 != c2 && t1 != c2 && c1 != t2)
-                || (c1 == c2 && t1 == t2)
+            (c1 == c2 && t1 == t2) || ((c1 == c2 || t1 == t2) && t1 != c2 && c1 != t2)
         }
         (g, Gate::Cx(c, t)) | (Gate::Cx(c, t), g) => {
             let q = g.qubits().0;
@@ -72,7 +70,7 @@ fn is_zero_angle(theta: f64) -> bool {
 }
 
 /// One scan round. Returns `(cancelled, merged, zeroed)`.
-fn round(gates: &mut Vec<Option<Gate>>) -> (usize, usize, usize) {
+fn round(gates: &mut [Option<Gate>]) -> (usize, usize, usize) {
     let (mut cancelled, mut merged, mut zeroed) = (0usize, 0usize, 0usize);
     for i in 0..gates.len() {
         let Some(gi) = gates[i] else { continue };

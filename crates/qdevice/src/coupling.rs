@@ -261,13 +261,13 @@ impl CouplingMap {
 
 fn all_pairs_bfs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<u32>> {
     let mut dist = vec![vec![u32::MAX; n]; n];
-    for s in 0..n {
-        dist[s][s] = 0;
+    for (s, row) in dist.iter_mut().enumerate() {
+        row[s] = 0;
         let mut queue = VecDeque::from([s]);
         while let Some(u) = queue.pop_front() {
             for &v in &adj[u] {
-                if dist[s][v] == u32::MAX {
-                    dist[s][v] = dist[s][u] + 1;
+                if row[v] == u32::MAX {
+                    row[v] = row[u] + 1;
                     queue.push_back(v);
                 }
             }

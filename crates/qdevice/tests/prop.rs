@@ -78,7 +78,7 @@ proptest! {
             }
         }
         // l2p/p2l stay mutually inverse.
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for l in 0..5 {
             let p = layout.phys(l);
             prop_assert!(!seen[p]);

@@ -106,9 +106,8 @@ mod tests {
                 equal_up_to_phase(&m2, &identity(m.len()), 1e-12),
                 "{s}² ≠ I"
             );
-            for j in 0..m.len() {
-                for i in 0..m.len() {
-                    let a = m[j][i];
+            for (j, row) in m.iter().enumerate() {
+                for (i, &a) in row.iter().enumerate() {
                     let b = m[i][j].conj();
                     assert!((a - b).norm() < 1e-12, "{s} not hermitian");
                 }

@@ -132,13 +132,13 @@ pub fn routed_circuit_implements(
         p
     };
     let mut phase: Option<C64> = None;
-    for x in 0..(1usize << k) {
+    for (x, u_row) in u_logical.iter().enumerate().take(1usize << k) {
         let mut s = State::basis(n, embed(x, initial));
         s.apply_circuit(circuit);
         let got = s.amplitudes();
         // Expected: Σ_y u[x][y] |embed(y, final)⟩.
         let mut expected = vec![C64::ZERO; 1 << n];
-        for (y, &amp) in u_logical[x].iter().enumerate() {
+        for (y, &amp) in u_row.iter().enumerate() {
             expected[embed(y, final_) as usize] += amp;
         }
         for (i, &e) in expected.iter().enumerate() {
@@ -160,7 +160,7 @@ pub fn routed_circuit_implements(
             }
         }
     }
-    phase.map_or(true, |ph| (ph.norm() - 1.0).abs() < tol)
+    phase.is_none_or(|ph| (ph.norm() - 1.0).abs() < tol)
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ impl Graph {
 ///
 /// Panics if `n·d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be below n");
     let mut rng = StdRng::seed_from_u64(seed);
     // Circulant seed graph: chords ±1..±d/2, plus the antipodal chord for
@@ -111,6 +111,9 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
 }
 
 /// Random symmetric city distances for the TSP benchmarks.
+// Index loops mirror entries across the diagonal; iterators cannot borrow
+// two rows mutably at once.
+#[allow(clippy::needless_range_loop)]
 pub fn random_distances(n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut d = vec![vec![0.0; n]; n];
@@ -163,12 +166,12 @@ mod tests {
     #[test]
     fn distances_are_symmetric_positive() {
         let d = random_distances(5, 9);
-        for i in 0..5 {
-            assert_eq!(d[i][i], 0.0);
-            for j in 0..5 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &w) in row.iter().enumerate() {
+                assert_eq!(w, d[j][i]);
                 if i != j {
-                    assert!(d[i][j] > 0.0);
+                    assert!(w > 0.0);
                 }
             }
         }

@@ -31,7 +31,11 @@ pub fn tsp_ir(n: usize, distances: &[Vec<f64>], gamma: f64, penalty: f64) -> Pau
     let nq = n * n;
     let q = |city: usize, time: usize| city * n + time;
     // QUBO accumulation: quad[(a,b)] x_a x_b + lin[a] x_a  (a < b).
-    let mut quad = std::collections::HashMap::<(usize, usize), f64>::new();
+    // BTreeMap, not HashMap: the Ising conversion below accumulates
+    // z-coefficients in iteration order, and float addition is not
+    // associative — ordered iteration keeps generation bit-reproducible
+    // across calls (which the engine's compilation cache relies on).
+    let mut quad = std::collections::BTreeMap::<(usize, usize), f64>::new();
     let mut lin = vec![0.0f64; nq];
     let mut add_quad = |a: usize, b: usize, w: f64, lin: &mut Vec<f64>| {
         if a == b {
@@ -60,10 +64,10 @@ pub fn tsp_ir(n: usize, distances: &[Vec<f64>], gamma: f64, penalty: f64) -> Pau
     // Tour distances: d_ij · x_{i,t} x_{j,t+1} (cyclic).
     for t in 0..n {
         let tn = (t + 1) % n;
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in distances.iter().enumerate().take(n) {
+            for (j, &dij) in row.iter().enumerate().take(n) {
                 if i != j {
-                    add_quad(q(i, t), q(j, tn), distances[i][j], &mut lin);
+                    add_quad(q(i, t), q(j, tn), dij, &mut lin);
                 }
             }
         }

@@ -21,7 +21,7 @@ use crate::jw;
 ///
 /// Panics if `n` is odd or below 4.
 pub fn uccsd_ir(n: usize, seed: u64) -> PauliIR {
-    assert!(n >= 4 && n % 2 == 0, "UCCSD needs an even n ≥ 4");
+    assert!(n >= 4 && n.is_multiple_of(2), "UCCSD needs an even n ≥ 4");
     let mut rng = StdRng::seed_from_u64(seed);
     let n_spatial = n / 2;
     let occ_spatial = n_spatial / 2;

@@ -6,6 +6,8 @@
 //!
 //! * [`paulihedral`] — the compiler framework (Pauli IR, scheduling,
 //!   FT/SC block-wise synthesis),
+//! * [`ph_engine`] — the compilation engine (pass manager, compilation
+//!   cache, multi-threaded batch driver),
 //! * [`pauli`] — Pauli algebra substrate,
 //! * [`qcircuit`] — circuit IR, peephole optimizer, QASM,
 //! * [`qdevice`] — coupling maps, layouts, noise models,
@@ -33,6 +35,7 @@
 pub use baselines;
 pub use pauli;
 pub use paulihedral;
+pub use ph_engine;
 pub use qcircuit;
 pub use qdevice;
 pub use qsim;
