@@ -13,7 +13,9 @@ use baselines::generic::{self, Mapping};
 use baselines::tk;
 use paulihedral::ir::PauliIR;
 use paulihedral::Scheduler;
-use ph_engine::{BatchEngine, CompileJob, CompileReport, Engine, Pipeline, Target};
+use ph_engine::{
+    BatchEngine, CacheConfig, CacheStats, CompileJob, CompileReport, Engine, Pipeline, Target,
+};
 use qcircuit::{Circuit, CircuitStats};
 use qdevice::CouplingMap;
 use workloads::suite::{self, BackendClass};
@@ -181,6 +183,17 @@ pub struct SuiteResult {
     pub report: CompileReport,
 }
 
+/// A full suite run: per-benchmark results plus the final counters of the
+/// engine's compilation cache.
+#[derive(Clone, Debug)]
+pub struct SuiteRun {
+    /// Per-benchmark outcomes, in input order.
+    pub results: Vec<SuiteResult>,
+    /// Cache counters after the batch (hits, disk hits, coalesced waits,
+    /// evictions, resident bytes).
+    pub cache: CacheStats,
+}
+
 /// Compiles named Table 1 benchmarks through the [`BatchEngine`]: SC
 /// benchmarks map onto `device` with depth-oriented scheduling (the
 /// paper's SC configuration), FT benchmarks stay logical with adaptive
@@ -195,6 +208,23 @@ pub struct SuiteResult {
 /// `device` cannot host an SC benchmark (disconnected, or smaller than
 /// the benchmark — e.g. UCCSD-12 on a 16-qubit device).
 pub fn run_suite(names: &[&str], device: &CouplingMap, threads: Option<usize>) -> Vec<SuiteResult> {
+    run_suite_with(names, device, threads, CacheConfig::default()).results
+}
+
+/// [`run_suite`] with an explicit cache configuration — point
+/// [`CacheConfig::disk_dir`] at a directory to make a suite run warm-start
+/// from a previous one — returning the cache counters alongside the
+/// results.
+///
+/// # Panics
+///
+/// See [`run_suite`].
+pub fn run_suite_with(
+    names: &[&str],
+    device: &CouplingMap,
+    threads: Option<usize>,
+    cache: CacheConfig,
+) -> SuiteRun {
     let sc_target = Target::superconducting(device.clone());
     let mut classes = Vec::with_capacity(names.len());
     let jobs: Vec<CompileJob> = names
@@ -211,11 +241,12 @@ pub fn run_suite(names: &[&str], device: &CouplingMap, threads: Option<usize>) -
             }
         })
         .collect();
-    let mut engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant);
+    let mut engine =
+        BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_cache_config(cache);
     if let Some(t) = threads {
         engine = engine.with_threads(t);
     }
-    engine
+    let results = engine
         .compile_all(jobs)
         .into_iter()
         .zip(classes)
@@ -228,7 +259,11 @@ pub fn run_suite(names: &[&str], device: &CouplingMap, threads: Option<usize>) -
                 report: out.report,
             }
         })
-        .collect()
+        .collect();
+    SuiteRun {
+        results,
+        cache: engine.engine().cache_stats(),
+    }
 }
 
 /// Formats a duration as seconds with sensible precision.
@@ -372,6 +407,33 @@ mod tests {
             .map(|p| p.name.as_str())
             .collect();
         assert_eq!(names, ["schedule", "synthesis", "peephole"]);
+    }
+
+    #[test]
+    fn run_suite_warm_starts_from_a_disk_cache() {
+        let dir = std::env::temp_dir().join(format!("ph-bench-disk-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let device = devices::manhattan_65();
+        let names = ["Ising-1D", "Heisen-1D"];
+        let config = CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        };
+        let cold = run_suite_with(&names, &device, Some(2), config.clone());
+        assert_eq!((cold.cache.misses, cold.cache.disk_hits), (2, 0));
+        // A fresh engine (empty memory tier) against the same directory is
+        // served entirely from disk, bit-identically.
+        let warm = run_suite_with(&names, &device, Some(2), config);
+        assert_eq!((warm.cache.misses, warm.cache.disk_hits), (0, 2));
+        for (c, w) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(c.stats, w.stats, "{}: warm stats differ", c.name);
+            assert!(
+                w.report.cache_hit,
+                "{}: warm run must be a cache hit",
+                c.name
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

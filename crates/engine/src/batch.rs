@@ -94,6 +94,20 @@ impl BatchEngine {
         self
     }
 
+    /// Replaces the shared cache with an empty one using `config`
+    /// (entry/byte budgets, optional persistent directory). Builder-style;
+    /// call before the first batch.
+    pub fn with_cache_config(mut self, config: crate::cache::CacheConfig) -> BatchEngine {
+        self.engine = self.engine.with_cache_config(config);
+        self
+    }
+
+    /// Disables the shared compilation cache (every job compiles).
+    pub fn without_cache(mut self) -> BatchEngine {
+        self.engine = self.engine.without_cache();
+        self
+    }
+
     /// The underlying engine (cache statistics, one-off compiles).
     pub fn engine(&self) -> &Engine {
         &self.engine

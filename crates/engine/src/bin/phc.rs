@@ -14,7 +14,13 @@
 //! ```text
 //! phc batch INPUT1.pauli INPUT2.pauli … [--backend …] [--scheduler …]
 //!           [--threads N] [--json REPORT.json]
+//!           [--cache-dir DIR] [--cache-entries N] [--cache-bytes N]
 //! ```
+//!
+//! `--cache-dir` enables the persistent cache tier: a second run over the
+//! same inputs and configuration is served from `DIR` instead of
+//! recompiling. `--cache-entries`/`--cache-bytes` bound the in-memory tier
+//! (LRU eviction; see the `cache` object of the JSON report for counters).
 //!
 //! Example input file:
 //!
@@ -31,7 +37,7 @@ use std::process::ExitCode;
 
 use paulihedral::parse::parse_program;
 use paulihedral::Scheduler;
-use ph_engine::{BatchEngine, BatchResult, CompileJob, Engine, Pipeline, Target};
+use ph_engine::{BatchEngine, BatchResult, CacheConfig, CompileJob, Engine, Pipeline, Target};
 use qcircuit::qasm::{to_qasm, QasmOptions};
 use qdevice::devices;
 
@@ -48,7 +54,16 @@ fn flag_present(args: &[String], flag: &str) -> bool {
 
 /// Positional (non-flag, non-flag-value) arguments.
 fn positionals(args: &[String]) -> Vec<String> {
-    let value_flags = ["--scheduler", "--qasm", "--backend", "--threads", "--json"];
+    let value_flags = [
+        "--scheduler",
+        "--qasm",
+        "--backend",
+        "--threads",
+        "--json",
+        "--cache-dir",
+        "--cache-entries",
+        "--cache-bytes",
+    ];
     let mut out = Vec::new();
     let mut skip = false;
     for a in args {
@@ -172,11 +187,31 @@ fn json_report(results: &[BatchResult], engine: &Engine, threads: usize) -> Stri
     out.push_str("  ],\n");
     let cs = engine.cache_stats();
     out.push_str(&format!(
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}\n",
-        cs.hits, cs.misses, cs.entries
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"disk_hits\": {}, \
+         \"coalesced\": {}, \"evictions\": {}, \"entries\": {}, \"resident_bytes\": {}}}\n",
+        cs.hits, cs.misses, cs.disk_hits, cs.coalesced, cs.evictions, cs.entries, cs.resident_bytes
     ));
     out.push_str("}\n");
     out
+}
+
+/// Builds the batch cache configuration from `--cache-dir`,
+/// `--cache-entries`, and `--cache-bytes`.
+fn parse_cache_config(args: &[String]) -> Result<CacheConfig, String> {
+    let mut config = CacheConfig::default();
+    if let Some(dir) = value_of(args, "--cache-dir") {
+        config.disk_dir = Some(dir.into());
+    }
+    if let Some(n) = value_of(args, "--cache-entries") {
+        config.max_entries = Some(
+            n.parse()
+                .map_err(|_| format!("bad --cache-entries `{n}`"))?,
+        );
+    }
+    if let Some(n) = value_of(args, "--cache-bytes") {
+        config.max_bytes = Some(n.parse().map_err(|_| format!("bad --cache-bytes `{n}`"))?);
+    }
+    Ok(config)
 }
 
 fn run_batch(args: &[String]) -> Result<(), String> {
@@ -184,7 +219,8 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err(
             "usage: phc batch INPUT1.pauli INPUT2.pauli … [--backend B] [--scheduler S] \
-             [--threads N] [--json OUT.json]"
+             [--threads N] [--json OUT.json] [--cache-dir DIR] [--cache-entries N] \
+             [--cache-bytes N]"
                 .into(),
         );
     }
@@ -202,7 +238,8 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         max_qubits,
     )?;
 
-    let mut engine = BatchEngine::new(Pipeline::standard(scheduler), target);
+    let mut engine = BatchEngine::new(Pipeline::standard(scheduler), target)
+        .with_cache_config(parse_cache_config(args)?);
     if let Some(t) = value_of(args, "--threads") {
         let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
         engine = engine.with_threads(t);
@@ -236,11 +273,15 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     }
     let cs = engine.engine().cache_stats();
     eprintln!(
-        "{} jobs on {} threads: {} cache hits, {} misses",
+        "{} jobs on {} threads: {} cache hits, {} disk hits, {} coalesced, {} misses, \
+         {} evictions",
         results.len(),
         threads,
         cs.hits,
-        cs.misses
+        cs.disk_hits,
+        cs.coalesced,
+        cs.misses,
+        cs.evictions
     );
 
     let json = json_report(&results, engine.engine(), threads);

@@ -1,25 +1,43 @@
-//! Content-addressed compilation cache.
+//! Content-addressed compilation cache: bounded LRU memory tier, optional
+//! persistent disk tier, single-flight miss coalescing.
 //!
 //! Keys are canonical 64-bit FNV-1a fingerprints of the complete request:
 //! the Pauli IR (operator words, weights, parameters), the pipeline
 //! configuration (pass signature sequence), and the target (device edges
 //! and noise figures). Identical requests — repeated Trotter steps,
 //! re-compiled suite benchmarks — are served from memory and counted.
+//!
+//! Serving-tier behavior:
+//!
+//! * **Bounded.** The memory tier is an LRU map with optional entry-count
+//!   and approximate-byte budgets ([`CacheConfig`]); evictions are counted
+//!   in [`CacheStats`] and the resident footprint never exceeds the budget.
+//! * **Persistent.** With [`CacheConfig::disk_dir`] set, every compiled
+//!   entry is also written to `<dir>/<key:016x>.phc` (atomically, via a
+//!   temp file + rename) and memory misses are filled from disk. Keys are
+//!   process-stable, so a cache directory is shared across runs and across
+//!   machines of the same endianness-independent encoding. Corrupt or
+//!   partial files are treated as misses, never as errors.
+//! * **Single-flight.** Concurrent requests for one key compile it once:
+//!   followers block on the leader's in-flight compilation and share the
+//!   resulting `Arc` ([`CacheStats::coalesced`] counts the waits).
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use paulihedral::ir::PauliIR;
 use paulihedral::Compiled;
 
+use crate::persist;
 use crate::report::CompileReport;
 
 /// Streaming 64-bit FNV-1a hasher.
 ///
 /// Deliberately *not* `std::hash::DefaultHasher`: FNV-1a is specified, so
-/// keys are stable across processes and Rust releases — a prerequisite for
-/// the ROADMAP's cross-process cache follow-on.
+/// keys are stable across processes and Rust releases — the property the
+/// disk tier relies on to share entries across runs.
 #[derive(Clone, Debug)]
 pub struct Fingerprint(u64);
 
@@ -108,76 +126,483 @@ pub struct CacheEntry {
     pub report: CompileReport,
 }
 
+impl CacheEntry {
+    /// Approximate resident size of this entry in bytes, charged against
+    /// [`CacheConfig::max_bytes`]. Counts the dominant heap blocks (gate
+    /// list, emitted strings, layouts, per-pass records); allocator
+    /// overhead is ignored.
+    pub fn approx_bytes(&self) -> usize {
+        let c = &self.compiled;
+        let mut bytes = std::mem::size_of::<CacheEntry>() + std::mem::size_of::<Compiled>();
+        bytes += c.circuit.len() * std::mem::size_of::<qcircuit::Gate>();
+        for (s, _theta) in &c.emitted {
+            // Two bit planes plus the (string, f64) tuple shell.
+            bytes += 16 * s.x_words().len() + 24;
+        }
+        for l2p in [&c.initial_l2p, &c.final_l2p].into_iter().flatten() {
+            bytes += l2p.len() * std::mem::size_of::<usize>();
+        }
+        for p in &self.report.passes {
+            bytes += std::mem::size_of_val(p) + p.name.len() + p.note.len();
+        }
+        bytes
+    }
+}
+
+/// Memory- and disk-tier configuration of a [`CompileCache`].
+#[derive(Clone, Debug, Default)]
+pub struct CacheConfig {
+    /// Maximum number of entries resident in memory (`None` = unbounded).
+    pub max_entries: Option<usize>,
+    /// Approximate memory-tier byte budget (`None` = unbounded). An entry
+    /// larger than the whole budget is never admitted, so the resident
+    /// footprint stays within the budget instead of thrashing to zero.
+    pub max_bytes: Option<usize>,
+    /// Directory of the persistent tier (`None` = memory only). Created on
+    /// first write; shared between processes.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl CacheConfig {
+    /// Memory-only, unbounded — the historical default.
+    pub fn unbounded() -> CacheConfig {
+        CacheConfig::default()
+    }
+}
+
 /// Cache effectiveness counters, exposed through
 /// [`crate::Engine::cache_stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Requests served from the cache.
+    /// Requests served from the memory tier.
     pub hits: u64,
     /// Requests that had to compile.
     pub misses: u64,
-    /// Entries currently stored.
+    /// Memory misses served from the disk tier.
+    pub disk_hits: u64,
+    /// Requests that waited on another worker's in-flight compilation of
+    /// the same key instead of compiling it again.
+    pub coalesced: u64,
+    /// Entries evicted from the memory tier to stay within budget.
+    pub evictions: u64,
+    /// Entries currently resident in memory.
     pub entries: usize,
+    /// Approximate bytes currently resident in memory.
+    pub resident_bytes: usize,
+}
+
+/// How [`CompileCache::get_or_compute`] satisfied a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the memory tier.
+    MemoryHit,
+    /// Served from the disk tier (and promoted to memory).
+    DiskHit,
+    /// Waited for another worker's in-flight compilation of the same key.
+    Coalesced,
+    /// Compiled by this request.
+    Compiled,
+}
+
+/// A poison-tolerant lock: a worker that panicked while holding the lock
+/// never wrote a half-updated state (the critical sections below only
+/// swap complete values), so later jobs recover the guard instead of
+/// propagating the panic forever.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One LRU slot: the entry, its charged cost, and its neighbors in the
+/// recency list (an intrusive doubly-linked list threaded through the map
+/// by key, so touch/evict are O(1)).
+#[derive(Debug)]
+struct Slot {
+    entry: CacheEntry,
+    cost: usize,
+    prev: Option<u64>, // toward most-recent
+    next: Option<u64>, // toward least-recent
+}
+
+/// The memory tier: a HashMap with an intrusive recency list.
+#[derive(Debug, Default)]
+struct LruMap {
+    slots: HashMap<u64, Slot>,
+    head: Option<u64>, // most recently used
+    tail: Option<u64>, // least recently used
+    bytes: usize,
+}
+
+impl LruMap {
+    fn unlink(&mut self, key: u64) {
+        let (prev, next) = {
+            let s = &self.slots[&key];
+            (s.prev, s.next)
+        };
+        match prev {
+            Some(p) => self.slots.get_mut(&p).expect("linked prev exists").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.slots.get_mut(&n).expect("linked next exists").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    fn push_front(&mut self, key: u64) {
+        let old_head = self.head;
+        {
+            let s = self.slots.get_mut(&key).expect("pushed slot exists");
+            s.prev = None;
+            s.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.slots.get_mut(&h).expect("old head exists").prev = Some(key);
+        }
+        self.head = Some(key);
+        if self.tail.is_none() {
+            self.tail = Some(key);
+        }
+    }
+
+    /// Gets and marks the entry as most recently used.
+    fn touch(&mut self, key: u64) -> Option<CacheEntry> {
+        if !self.slots.contains_key(&key) {
+            return None;
+        }
+        self.unlink(key);
+        self.push_front(key);
+        Some(self.slots[&key].entry.clone())
+    }
+
+    /// Inserts (or replaces) an entry as most recently used.
+    fn insert(&mut self, key: u64, entry: CacheEntry, cost: usize) {
+        if let Some(old_cost) = self.slots.get(&key).map(|s| s.cost) {
+            self.unlink(key);
+            let slot = self.slots.get_mut(&key).expect("replaced slot exists");
+            self.bytes = self.bytes - old_cost + cost;
+            slot.entry = entry;
+            slot.cost = cost;
+        } else {
+            self.slots.insert(
+                key,
+                Slot {
+                    entry,
+                    cost,
+                    prev: None,
+                    next: None,
+                },
+            );
+            self.bytes += cost;
+        }
+        self.push_front(key);
+    }
+
+    /// Removes and returns the least recently used key, if any.
+    fn pop_lru(&mut self) -> Option<u64> {
+        let key = self.tail?;
+        self.unlink(key);
+        let slot = self.slots.remove(&key).expect("tail slot exists");
+        self.bytes -= slot.cost;
+        Some(key)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.head = None;
+        self.tail = None;
+        self.bytes = 0;
+    }
+}
+
+/// One in-flight compilation other workers can wait on.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(CacheEntry),
+    /// The leader's compilation returned an error (or panicked): waiters
+    /// retry — and become the new leader — instead of sharing a failure
+    /// that may have been request-specific.
+    Failed,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+}
+
+/// Publishes `Failed` if the leader unwinds before publishing a result, so
+/// coalesced waiters never hang on a panicked compilation.
+struct FlightGuard<'a> {
+    cache: &'a CompileCache,
+    key: u64,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    fn publish(&mut self, state: FlightState) {
+        self.published = true;
+        relock(&self.cache.inflight).remove(&self.key);
+        *relock(&self.flight.state) = state;
+        self.flight.done.notify_all();
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish(FlightState::Failed);
+        }
+    }
 }
 
 /// A thread-safe, content-addressed map from request fingerprints to
-/// compiled artifacts.
+/// compiled artifacts: bounded LRU in memory, optionally persistent on
+/// disk, with single-flight miss coalescing.
 #[derive(Debug, Default)]
 pub struct CompileCache {
-    entries: Mutex<HashMap<u64, CacheEntry>>,
+    config: CacheConfig,
+    entries: Mutex<LruMap>,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// An empty, unbounded, memory-only cache.
     pub fn new() -> CompileCache {
         CompileCache::default()
     }
 
-    /// Looks up a key, bumping the hit/miss counters.
-    pub fn lookup(&self, key: u64) -> Option<CacheEntry> {
-        let entry = self
-            .entries
-            .lock()
-            .expect("cache poisoned")
-            .get(&key)
-            .cloned();
-        match &entry {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        entry
+    /// An empty cache with the given bounds and disk tier.
+    pub fn with_config(config: CacheConfig) -> CompileCache {
+        CompileCache {
+            config,
+            ..CompileCache::default()
+        }
     }
 
-    /// Stores a compilation result. Concurrent duplicate inserts (two
-    /// workers racing on the same key) are benign: both values are
-    /// identical by construction, the second simply wins.
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The disk-tier path of a key.
+    fn disk_path(dir: &Path, key: u64) -> PathBuf {
+        dir.join(format!("{key:016x}.phc"))
+    }
+
+    /// Probes both tiers without touching the hit/miss counters. A disk
+    /// hit is promoted into the memory tier.
+    fn probe(&self, key: u64) -> Option<(CacheEntry, CacheOutcome)> {
+        if let Some(entry) = relock(&self.entries).touch(key) {
+            return Some((entry, CacheOutcome::MemoryHit));
+        }
+        let dir = self.config.disk_dir.as_deref()?;
+        let bytes = std::fs::read(Self::disk_path(dir, key)).ok()?;
+        // Corrupt, truncated, or foreign files are misses, not errors.
+        let entry = persist::decode_entry(&bytes).ok()?;
+        self.admit(key, entry.clone());
+        Some((entry, CacheOutcome::DiskHit))
+    }
+
+    /// Inserts into the memory tier, evicting LRU entries until the
+    /// configured budgets hold again.
+    fn admit(&self, key: u64, entry: CacheEntry) {
+        let cost = entry.approx_bytes();
+        if self.config.max_bytes.is_some_and(|budget| cost > budget) {
+            // Admitting would force the tier to exceed its budget or hold
+            // nothing else; serve this entry un-cached instead.
+            return;
+        }
+        let mut evicted = 0;
+        {
+            let mut map = relock(&self.entries);
+            map.insert(key, entry, cost);
+            let over = |map: &LruMap| {
+                self.config.max_entries.is_some_and(|m| map.len() > m)
+                    || self.config.max_bytes.is_some_and(|m| map.bytes > m)
+            };
+            while over(&map) && map.pop_lru().is_some() {
+                evicted += 1;
+            }
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Best-effort write-back to the disk tier (atomic via temp + rename;
+    /// IO failures are ignored — the cache is an accelerator, not a store
+    /// of record).
+    fn write_back(&self, key: u64, entry: &CacheEntry) {
+        let Some(dir) = self.config.disk_dir.as_deref() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        // Overwrite unconditionally: write-back only runs after both tiers
+        // missed, so an existing file is either corrupt (heal it) or a
+        // concurrent writer's identical bytes (rename keeps it atomic).
+        let path = Self::disk_path(dir, key);
+        let bytes = persist::encode_entry(entry);
+        let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Looks up a key in both tiers, bumping the hit/miss counters.
+    pub fn lookup(&self, key: u64) -> Option<CacheEntry> {
+        match self.probe(key) {
+            Some((entry, CacheOutcome::MemoryHit)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Some((entry, _)) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a compilation result in both tiers. Concurrent duplicate
+    /// inserts (two workers racing on the same key) are benign: both
+    /// values are identical by construction, the second simply wins.
     pub fn insert(&self, key: u64, entry: CacheEntry) {
-        self.entries
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, entry);
+        self.write_back(key, &entry);
+        self.admit(key, entry);
+    }
+
+    /// Returns the cached entry for `key`, computing (and caching) it with
+    /// `compute` on a miss. Concurrent calls for the same key run
+    /// `compute` exactly once: one caller leads, the rest block until the
+    /// leader publishes and then share its `Arc`. If the leader fails or
+    /// panics, one waiter takes over and retries.
+    pub fn get_or_compute<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<CacheEntry, E>,
+    ) -> Result<(CacheEntry, CacheOutcome), E> {
+        loop {
+            if let Some((entry, outcome)) = self.probe(key) {
+                match outcome {
+                    CacheOutcome::MemoryHit => self.hits.fetch_add(1, Ordering::Relaxed),
+                    _ => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+                };
+                return Ok((entry, outcome));
+            }
+
+            let (flight, leader) = {
+                let mut inflight = relock(&self.inflight);
+                match inflight.get(&key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(Flight::new());
+                        inflight.insert(key, Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+
+            if !leader {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut state = relock(&flight.state);
+                while matches!(*state, FlightState::Pending) {
+                    state = flight
+                        .done
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                match &*state {
+                    FlightState::Done(entry) => {
+                        return Ok((entry.clone(), CacheOutcome::Coalesced))
+                    }
+                    // Leader failed — retry (and likely lead) from the top.
+                    _ => continue,
+                }
+            }
+
+            let mut guard = FlightGuard {
+                cache: self,
+                key,
+                flight,
+                published: false,
+            };
+            // Double-check under leadership: a previous leader may have
+            // published between our probe and our registration.
+            if let Some((entry, outcome)) = self.probe(key) {
+                match outcome {
+                    CacheOutcome::MemoryHit => self.hits.fetch_add(1, Ordering::Relaxed),
+                    _ => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+                };
+                guard.publish(FlightState::Done(entry.clone()));
+                return Ok((entry, outcome));
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return match compute() {
+                Ok(entry) => {
+                    self.insert(key, entry.clone());
+                    guard.publish(FlightState::Done(entry.clone()));
+                    Ok((entry, CacheOutcome::Compiled))
+                }
+                Err(e) => {
+                    guard.publish(FlightState::Failed);
+                    Err(e)
+                }
+            };
+        }
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let (entries, resident_bytes) = {
+            let map = relock(&self.entries);
+            (map.len(), map.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache poisoned").len(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            resident_bytes,
         }
     }
 
-    /// Drops all entries (counters are kept).
+    /// Drops all memory-tier entries (counters and disk files are kept).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache poisoned").clear();
+        relock(&self.entries).clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
 
     #[test]
     fn fnv_vectors() {
@@ -213,17 +638,192 @@ mod tests {
         assert_ne!(base, key("{(ZZY, 0.5), theta}; {(ZZI, 0.3), 1.0};"));
     }
 
+    /// A small synthetic entry (`gates` scales its byte cost).
+    fn entry_with(gates: usize) -> CacheEntry {
+        let mut circuit = qcircuit::Circuit::new(2);
+        for _ in 0..gates {
+            circuit.push(qcircuit::Gate::Cx(0, 1));
+        }
+        CacheEntry {
+            compiled: Arc::new(Compiled {
+                circuit,
+                emitted: Vec::new(),
+                initial_l2p: None,
+                final_l2p: None,
+            }),
+            report: CompileReport::default(),
+        }
+    }
+
     #[test]
     fn counters_track_lookups() {
         let cache = CompileCache::new();
         assert!(cache.lookup(42).is_none());
-        assert_eq!(
-            cache.stats(),
-            CacheStats {
-                hits: 0,
-                misses: 1,
-                entries: 0
-            }
-        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 0));
+        cache.insert(42, entry_with(1));
+        assert!(cache.lookup(42).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn lru_evicts_in_recency_order() {
+        let cache = CompileCache::with_config(CacheConfig {
+            max_entries: Some(2),
+            ..CacheConfig::default()
+        });
+        cache.insert(1, entry_with(1));
+        cache.insert(2, entry_with(1));
+        // Touch 1 so 2 becomes least recently used.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, entry_with(1));
+        assert!(cache.lookup(2).is_none(), "LRU key must be evicted");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_is_never_exceeded() {
+        let unit = entry_with(1).approx_bytes();
+        let cache = CompileCache::with_config(CacheConfig {
+            max_bytes: Some(3 * unit),
+            ..CacheConfig::default()
+        });
+        for key in 0..10 {
+            cache.insert(key, entry_with(1));
+            assert!(cache.stats().resident_bytes <= 3 * unit);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 7);
+        // An entry bigger than the whole budget is served un-cached.
+        cache.insert(100, entry_with(10_000));
+        assert!(cache.stats().resident_bytes <= 3 * unit);
+        assert!(cache.lookup(100).is_none());
+    }
+
+    #[test]
+    fn replacing_a_key_updates_cost_not_count() {
+        let cache = CompileCache::new();
+        cache.insert(7, entry_with(100));
+        let big = cache.stats().resident_bytes;
+        cache.insert(7, entry_with(1));
+        let small = cache.stats().resident_bytes;
+        assert_eq!(cache.stats().entries, 1);
+        assert!(small < big, "replacement must release the old cost");
+    }
+
+    /// Regression test for the poisoned-lock bug: one panicking worker
+    /// used to poison the entries mutex, after which every later job died
+    /// in `.lock().expect("cache poisoned")`. The cache now recovers the
+    /// guard (critical sections only ever swap complete values).
+    #[test]
+    fn survives_a_poisoned_lock() {
+        let cache = CompileCache::new();
+        cache.insert(1, entry_with(1));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.entries.lock().unwrap();
+            panic!("worker died while holding the cache lock");
+        }));
+        assert!(result.is_err());
+        assert!(cache.entries.is_poisoned(), "test must actually poison");
+        // Every hot-path operation still works.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(2, entry_with(1));
+        assert_eq!(cache.stats().entries, 2);
+        let (_, outcome) = cache
+            .get_or_compute::<()>(3, || Ok(entry_with(1)))
+            .expect("compute succeeds");
+        assert_eq!(outcome, CacheOutcome::Compiled);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses() {
+        use std::sync::mpsc;
+
+        let cache = Arc::new(CompileCache::new());
+        let key = 99;
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+
+        let leader = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute::<()>(key, || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Ok(entry_with(1))
+                })
+            })
+        };
+        // The leader is inside its compute closure; a second request for
+        // the same key must wait, not compile.
+        started_rx.recv().unwrap();
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute::<()>(key, || panic!("duplicate compile of an in-flight key"))
+            })
+        };
+        // Deterministic rendezvous: wait until the follower is counted as
+        // coalesced before letting the leader finish.
+        while cache.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+
+        let (leader_entry, leader_outcome) = leader.join().unwrap().unwrap();
+        let (follower_entry, follower_outcome) = follower.join().unwrap().unwrap();
+        assert_eq!(leader_outcome, CacheOutcome::Compiled);
+        assert_eq!(follower_outcome, CacheOutcome::Coalesced);
+        assert!(Arc::ptr_eq(
+            &leader_entry.compiled,
+            &follower_entry.compiled
+        ));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.coalesced), (1, 1));
+    }
+
+    #[test]
+    fn failed_leader_hands_over_to_a_waiter() {
+        use std::sync::mpsc;
+
+        let cache = Arc::new(CompileCache::new());
+        let key = 7;
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+
+        let leader = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute::<&str>(key, || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Err("compile error")
+                })
+            })
+        };
+        started_rx.recv().unwrap();
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.get_or_compute::<&str>(key, || Ok(entry_with(1))))
+        };
+        while cache.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+
+        assert_eq!(leader.join().unwrap().unwrap_err(), "compile error");
+        // The waiter retried, took over leadership, and compiled.
+        let (_, outcome) = follower.join().unwrap().expect("retry succeeds");
+        assert_eq!(outcome, CacheOutcome::Compiled);
+        assert_eq!(cache.stats().misses, 2);
     }
 }

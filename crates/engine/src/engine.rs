@@ -7,7 +7,9 @@ use std::time::Instant;
 use paulihedral::ir::PauliIR;
 use paulihedral::{validate, CompileError, Compiled, Scheduler};
 
-use crate::cache::{fingerprint_ir, CacheEntry, CacheStats, CompileCache, Fingerprint};
+use crate::cache::{
+    fingerprint_ir, CacheConfig, CacheEntry, CacheOutcome, CacheStats, CompileCache, Fingerprint,
+};
 use crate::pass::{PassContext, Target};
 use crate::pipeline::Pipeline;
 use crate::report::{CompileReport, PassRecord};
@@ -35,7 +37,8 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine with caching enabled.
+    /// An engine with an unbounded, memory-only cache (see
+    /// [`Engine::with_cache_config`] for bounds and a disk tier).
     pub fn new(pipeline: Pipeline, target: Target) -> Engine {
         Engine {
             pipeline,
@@ -45,8 +48,17 @@ impl Engine {
         }
     }
 
+    /// Replaces the cache with an empty one using `config` (entry/byte
+    /// budgets and an optional persistent directory). Builder-style; call
+    /// before the first compilation.
+    pub fn with_cache_config(mut self, config: CacheConfig) -> Engine {
+        self.cache = CompileCache::with_config(config);
+        self
+    }
+
     /// Disables the compilation cache (for benchmarking flows that must
-    /// measure real compile time on every request).
+    /// measure real compile time on every request). Also skips request
+    /// fingerprinting entirely — reports carry `key: 0`.
     pub fn without_cache(mut self) -> Engine {
         self.cache_enabled = false;
         self
@@ -62,7 +74,7 @@ impl Engine {
         &self.target
     }
 
-    /// Cache hit/miss/entry counters.
+    /// Cache hit/miss/eviction/byte counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -79,6 +91,10 @@ impl Engine {
 
     /// Compiles one program with optional per-request target and
     /// scheduler overrides (the batch driver's entry point).
+    ///
+    /// Concurrent calls with the same request key compile once: one
+    /// caller runs the pipeline while the rest wait and share its `Arc`
+    /// (counted in [`CacheStats::coalesced`]).
     ///
     /// # Errors
     ///
@@ -97,25 +113,45 @@ impl Engine {
             scheduler_override: scheduler,
         };
 
-        let key = self.request_key(ir, &ctx);
-        if self.cache_enabled {
-            if let Some(entry) = self.cache.lookup(key) {
-                let mut report = entry.report.clone();
-                report.cache_hit = true;
-                report.total = t0.elapsed();
-                return Ok(EngineOutput {
-                    compiled: entry.compiled,
-                    report,
-                });
-            }
+        if !self.cache_enabled {
+            // No cache ⇒ no reason to pay IR fingerprinting on every
+            // request; benchmark flows measure pure compile time.
+            let entry = self.execute(ir, &ctx, 0)?;
+            let mut report = entry.report;
+            report.total = t0.elapsed();
+            return Ok(EngineOutput {
+                compiled: entry.compiled,
+                report,
+            });
         }
 
+        let key = self.request_key(ir, &ctx);
+        let (entry, outcome) = self
+            .cache
+            .get_or_compute(key, || self.execute(ir, &ctx, key))?;
+        let mut report = entry.report;
+        report.cache_hit = outcome != CacheOutcome::Compiled;
+        report.total = t0.elapsed();
+        Ok(EngineOutput {
+            compiled: entry.compiled,
+            report,
+        })
+    }
+
+    /// Runs the pipeline over a fresh unit (the cache-miss path).
+    fn execute(
+        &self,
+        ir: &PauliIR,
+        ctx: &PassContext<'_>,
+        key: u64,
+    ) -> Result<CacheEntry, CompileError> {
+        let t0 = Instant::now();
         let mut unit = CompileUnit::new(ir.clone());
         let mut records: Vec<PassRecord> = Vec::with_capacity(self.pipeline.passes().len());
         for pass in self.pipeline.passes() {
             let before = unit.stats();
             let t_pass = Instant::now();
-            let note = pass.run(&mut unit, &ctx)?;
+            let note = pass.run(&mut unit, ctx)?;
             records.push(PassRecord {
                 name: pass.name().to_string(),
                 wall: t_pass.elapsed(),
@@ -124,24 +160,15 @@ impl Engine {
                 note,
             });
         }
-
-        let compiled = Arc::new(unit.into_compiled());
-        let report = CompileReport {
-            passes: records,
-            total: t0.elapsed(),
-            cache_hit: false,
-            key,
-        };
-        if self.cache_enabled {
-            self.cache.insert(
+        Ok(CacheEntry {
+            compiled: Arc::new(unit.into_compiled()),
+            report: CompileReport {
+                passes: records,
+                total: t0.elapsed(),
+                cache_hit: false,
                 key,
-                CacheEntry {
-                    compiled: Arc::clone(&compiled),
-                    report: report.clone(),
-                },
-            );
-        }
-        Ok(EngineOutput { compiled, report })
+            },
+        })
     }
 
     /// The content-addressed key of a request: canonical hashes of the IR,

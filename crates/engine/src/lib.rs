@@ -13,7 +13,10 @@
 //! 2. **Compilation cache** ([`cache`]): results are keyed by a canonical
 //!    FNV-1a fingerprint of (IR, pipeline configuration, target), so
 //!    repeated Trotter steps and re-compiled suite benchmarks are served
-//!    from memory. Hit/miss counters surface in [`CacheStats`].
+//!    from memory. The memory tier is a bounded LRU ([`CacheConfig`]), an
+//!    optional disk tier ([`persist`]) survives process restarts, and
+//!    concurrent misses on one key are coalesced into a single compile.
+//!    Hit/miss/eviction/byte counters surface in [`CacheStats`].
 //! 3. **Batch driver** ([`batch`]): [`BatchEngine::compile_all`] spreads a
 //!    `Vec` of jobs across a `std::thread` worker pool (no external
 //!    runtime), preserving job order and sharing one cache.
@@ -40,12 +43,13 @@ pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod pass;
+pub mod persist;
 pub mod pipeline;
 pub mod report;
 pub mod unit;
 
 pub use batch::{BatchEngine, BatchResult, CompileJob};
-pub use cache::{CacheStats, CompileCache};
+pub use cache::{CacheConfig, CacheOutcome, CacheStats, CompileCache};
 pub use engine::{Engine, EngineOutput};
 pub use pass::{FusionPass, Pass, PassContext, PeepholePass, SchedulePass, SynthesisPass, Target};
 pub use pipeline::{Pipeline, PipelineBuilder};

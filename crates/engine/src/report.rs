@@ -51,9 +51,12 @@ pub struct CompileReport {
     pub passes: Vec<PassRecord>,
     /// End-to-end wall time of this request (lookup time only on a hit).
     pub total: Duration,
-    /// Whether the result was served from the compilation cache.
+    /// Whether the result was served from the compilation cache (memory
+    /// tier, disk tier, or coalesced onto another worker's compile).
     pub cache_hit: bool,
-    /// The content-addressed cache key of (IR, pipeline, target).
+    /// The content-addressed cache key of (IR, pipeline, target). `0` when
+    /// the engine runs `without_cache()` — fingerprinting is skipped
+    /// entirely so benchmark flows don't pay for hashing they never use.
     pub key: u64,
 }
 

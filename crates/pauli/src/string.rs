@@ -91,6 +91,27 @@ impl PauliString {
         s
     }
 
+    /// Reassembles a string from its raw bit planes (the inverse of
+    /// [`Self::x_words`]/[`Self::z_words`] — used when deserializing
+    /// persisted compilation artifacts).
+    ///
+    /// Returns `None` instead of panicking when the planes are not a valid
+    /// encoding — wrong word count, or stray bits above qubit `n - 1` —
+    /// because callers feed this untrusted bytes.
+    pub fn from_bit_planes(n: usize, x: Vec<u64>, z: Vec<u64>) -> Option<PauliString> {
+        let words = words_for(n);
+        if x.len() != words || z.len() != words {
+            return None;
+        }
+        if !n.is_multiple_of(64) && words > 0 {
+            let tail_mask = !0u64 << (n % 64);
+            if x[words - 1] & tail_mask != 0 || z[words - 1] & tail_mask != 0 {
+                return None;
+            }
+        }
+        Some(PauliString { n, x, z })
+    }
+
     /// The number of qubits `n`.
     #[inline]
     pub fn num_qubits(&self) -> usize {
@@ -337,6 +358,32 @@ mod tests {
 
     fn ps(s: &str) -> PauliString {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn bit_planes_round_trip() {
+        for s in ["I", "XYZI", "YZIXZ", &"XZIY".repeat(40)] {
+            let p = ps(s);
+            let rebuilt = PauliString::from_bit_planes(
+                p.num_qubits(),
+                p.x_words().to_vec(),
+                p.z_words().to_vec(),
+            )
+            .expect("planes from a real string are valid");
+            assert_eq!(rebuilt, p);
+        }
+    }
+
+    #[test]
+    fn bit_planes_reject_malformed_encodings() {
+        // Wrong word count.
+        assert!(PauliString::from_bit_planes(5, vec![0, 0], vec![0]).is_none());
+        assert!(PauliString::from_bit_planes(70, vec![0], vec![0]).is_none());
+        // Stray bits above qubit n-1.
+        assert!(PauliString::from_bit_planes(5, vec![1 << 5], vec![0]).is_none());
+        assert!(PauliString::from_bit_planes(5, vec![0], vec![1 << 63]).is_none());
+        // The same bit in range is fine.
+        assert!(PauliString::from_bit_planes(6, vec![1 << 5], vec![0]).is_some());
     }
 
     #[test]

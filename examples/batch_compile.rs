@@ -7,7 +7,7 @@
 //! ```
 
 use paulihedral::Scheduler;
-use ph_engine::{BatchEngine, CompileJob, Pipeline, Target};
+use ph_engine::{BatchEngine, CacheConfig, CompileJob, Pipeline, Target};
 use qdevice::devices;
 use workloads::suite::{self, BackendClass};
 
@@ -64,8 +64,37 @@ fn main() {
 
     let cs = engine.engine().cache_stats();
     println!(
-        "cache: {} hits, {} misses, {} entries",
-        cs.hits, cs.misses, cs.entries
+        "cache: {} hits, {} misses, {} coalesced, {} evictions, {} entries (~{} KiB resident)",
+        cs.hits,
+        cs.misses,
+        cs.coalesced,
+        cs.evictions,
+        cs.entries,
+        cs.resident_bytes / 1024
     );
     assert_eq!(hits, names.len(), "second wave must be all cache hits");
+
+    // The same batch against a persistent cache directory: a fresh engine
+    // (empty memory tier) warm-starts from the files the first one wrote.
+    let dir = std::env::temp_dir().join(format!("ph-batch-compile-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_config = || CacheConfig {
+        disk_dir: Some(dir.clone()),
+        ..CacheConfig::default()
+    };
+    let cold =
+        BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_cache_config(disk_config());
+    cold.compile_all(suite_jobs(&names, &sc_target));
+    let warm =
+        BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_cache_config(disk_config());
+    warm.compile_all(suite_jobs(&names, &sc_target));
+    let ws = warm.engine().cache_stats();
+    println!(
+        "persistent tier: fresh engine served {} of {} jobs from {}",
+        ws.disk_hits,
+        names.len(),
+        dir.display()
+    );
+    assert_eq!(ws.disk_hits as usize, names.len());
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -4,7 +4,7 @@ use std::marker::PhantomData;
 
 use rand::{Rng, Standard};
 
-use crate::strategy::{Strategy, TestRng};
+use crate::strategy::{BoxedTree, Strategy, TestRng};
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
@@ -18,14 +18,15 @@ impl<T: Standard> Arbitrary for T {
     }
 }
 
-/// Generates any value of `T` (uniform over the type's domain).
+/// Generates any value of `T` (uniform over the type's domain). Full-domain
+/// draws carry no range to steer toward, so these values do not shrink.
 pub struct AnyStrategy<T>(PhantomData<T>);
 
-impl<T: Standard> Strategy for AnyStrategy<T> {
+impl<T: Standard + Clone + 'static> Strategy for AnyStrategy<T> {
     type Value = T;
 
-    fn generate(&self, rng: &mut TestRng) -> T {
-        rng.gen::<T>()
+    fn new_tree(&self, rng: &mut TestRng) -> BoxedTree<T> {
+        Box::new(crate::strategy::LeafTree(rng.gen::<T>()))
     }
 }
 

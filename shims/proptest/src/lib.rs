@@ -6,15 +6,21 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **No shrinking.** A failing case reports its seed; cases are replayed
-//!   exactly, not minimized.
+//! * **Simple greedy shrinking.** A failing case is minimized by walking
+//!   each strategy's shrink candidates (integers halve toward the range's
+//!   low end, floats jump toward zero, vectors truncate toward their
+//!   minimum length, then elements shrink in place) and the minimal
+//!   still-failing input is reported alongside its seed. The search is
+//!   greedy and budgeted, not proptest's full binary search.
 //! * **Deterministic by default.** Case seeds derive from a fixed base seed
 //!   (override with `PROPTEST_RNG_SEED`), so CI runs are reproducible. Set
 //!   `PROPTEST_CASES` to change the case count.
 //! * **Regression files.** `proptest-regressions/<file-stem>.txt` next to the
 //!   owning crate's manifest is honored: lines of the form `cc <16-hex-seed>`
 //!   are replayed before the random cases, and the runner prints the `cc`
-//!   line to add when a random case fails.
+//!   line to add when a random case fails. Generation consumes the RNG in
+//!   the same order whether or not a tree is built, so pinned seeds keep
+//!   reproducing the same inputs.
 
 #![forbid(unsafe_code)]
 
@@ -103,16 +109,14 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let config = $config;
+                let strategy = ($(($strategy),)+);
                 $crate::test_runner::run_property_test(
                     &config,
                     concat!(module_path!(), "::", stringify!($name)),
                     env!("CARGO_MANIFEST_DIR"),
                     file!(),
-                    |rng| {
-                        $(let $arg =
-                            $crate::strategy::Strategy::generate(&($strategy), rng);)+
-                        $body
-                    },
+                    &strategy,
+                    |($($arg,)+)| $body,
                 );
             }
         )+

@@ -1,12 +1,18 @@
-//! The case runner: regression replay, deterministic case seeds, and
-//! failure reporting.
+//! The case runner: regression replay, deterministic case seeds, greedy
+//! shrinking, and failure reporting.
 
+use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 
-use crate::strategy::TestRng;
+use crate::strategy::{BoxedTree, Strategy, TestRng, ValueTree};
+
+/// Cap on body executions spent minimizing one failure. Shrinking is an
+/// ergonomics feature; past this budget the current (still failing,
+/// partially minimized) case is reported as-is.
+const MAX_SHRINK_ATTEMPTS: u32 = 1024;
 
 /// Fixed base seed so runs are reproducible without any environment setup.
 const DEFAULT_BASE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
@@ -87,17 +93,59 @@ fn regression_seeds(path: &Path) -> Vec<u64> {
         .collect()
 }
 
+/// Runs one case body over a tree's current value, catching its panic.
+fn run_case<T, B: Fn(T)>(
+    body: &B,
+    tree: &dyn ValueTree<Value = T>,
+) -> Result<(), Box<dyn Any + Send>> {
+    panic::catch_unwind(AssertUnwindSafe(|| body(tree.current())))
+}
+
+/// Greedy minimization: repeatedly replace the failing tree with its first
+/// still-failing shrink candidate until none fails (or the attempt budget
+/// runs out). Returns the minimized tree, the panic it produced, and the
+/// number of successful shrink steps.
+fn shrink<T, B: Fn(T)>(
+    mut tree: BoxedTree<T>,
+    body: &B,
+    mut cause: Box<dyn Any + Send>,
+) -> (BoxedTree<T>, Box<dyn Any + Send>, u32) {
+    let mut steps = 0;
+    let mut attempts = 0;
+    'minimize: loop {
+        for cand in tree.shrink_candidates() {
+            if attempts >= MAX_SHRINK_ATTEMPTS {
+                break 'minimize;
+            }
+            attempts += 1;
+            if let Err(c) = run_case(body, &*cand) {
+                tree = cand;
+                cause = c;
+                steps += 1;
+                continue 'minimize;
+            }
+        }
+        break;
+    }
+    (tree, cause, steps)
+}
+
 /// Runs `body` once per seed: first every seed in the regression file, then
 /// `config.cases` seeds derived deterministically from the base seed and
-/// the test name. On failure, reports the seed and the `cc` line to add.
-pub fn run_property_test<F>(
+/// the test name. On failure, the input is minimized through the
+/// strategy's shrink tree, the minimal case and the `cc` line to add are
+/// reported, and the minimal case's panic propagates.
+pub fn run_property_test<S, B>(
     config: &ProptestConfig,
     test_name: &str,
     manifest_dir: &str,
     source_file: &str,
-    body: F,
+    strategy: &S,
+    body: B,
 ) where
-    F: Fn(&mut TestRng),
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    B: Fn(S::Value),
 {
     let reg_path = regression_path(manifest_dir, source_file);
     let stream = base_seed() ^ hash_name(test_name);
@@ -108,15 +156,18 @@ pub fn run_property_test<F>(
         .chain((0..case_count(config)).map(|i| ("random", stream.wrapping_add(i as u64))))
     {
         let mut rng = TestRng::seed_from_u64(seed);
-        let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
-        if let Err(cause) = result {
+        let tree = strategy.new_tree(&mut rng);
+        if let Err(cause) = run_case(&body, &*tree) {
+            let (minimal, minimal_cause, steps) = shrink(tree, &body, cause);
             eprintln!(
                 "proptest shim: {test_name} failed on {label} case, seed {seed:#018x}.\n\
-                 To pin it as a regression, add the line\n    cc {seed:016x}\n\
+                 Minimal failing input after {steps} shrink step(s):\n    {:?}\n\
+                 To pin the seed as a regression, add the line\n    cc {seed:016x}\n\
                  to {}",
+                minimal.current(),
                 reg_path.display()
             );
-            panic::resume_unwind(cause);
+            panic::resume_unwind(minimal_cause);
         }
     }
 }
@@ -148,8 +199,10 @@ mod tests {
     fn failing_case_reports_and_propagates() {
         let config = ProptestConfig::with_cases(3);
         let hit = std::cell::Cell::new(0u32);
+        // `Just` has no shrink candidates, so the failing body runs once.
+        let strategy = crate::strategy::Just(0u8);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_property_test(&config, "t", "/nonexistent", "x.rs", |_rng| {
+            run_property_test(&config, "t", "/nonexistent", "x.rs", &strategy, |_v| {
                 hit.set(hit.get() + 1);
                 if hit.get() == 2 {
                     panic!("boom");
@@ -164,9 +217,63 @@ mod tests {
     fn passing_run_executes_all_cases() {
         let config = ProptestConfig::with_cases(7);
         let hit = std::cell::Cell::new(0u32);
-        run_property_test(&config, "t2", "/nonexistent", "x.rs", |_rng| {
+        let strategy = crate::strategy::Just(0u8);
+        run_property_test(&config, "t2", "/nonexistent", "x.rs", &strategy, |_v| {
             hit.set(hit.get() + 1);
         });
         assert_eq!(hit.get(), 7);
+    }
+
+    /// The panic payload of the minimized case, as a string.
+    fn minimized_payload<S, B>(strategy: &S, body: B) -> String
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        B: Fn(S::Value),
+    {
+        let config = ProptestConfig::with_cases(16);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_property_test(&config, "shrink", "/nonexistent", "x.rs", strategy, body);
+        }));
+        let payload = result.expect_err("property must fail");
+        match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(other) => other.downcast::<&str>().map(|s| s.to_string()).unwrap(),
+        }
+    }
+
+    #[test]
+    fn integers_shrink_to_the_smallest_failing_value() {
+        // Fails for v >= 10: halving plus decrement must land exactly on 10.
+        let payload = minimized_payload(&(0u64..1000), |v| {
+            if v >= 10 {
+                panic!("v={v}");
+            }
+        });
+        assert_eq!(payload, "v=10");
+    }
+
+    #[test]
+    fn vectors_shrink_to_minimal_length_and_zeroed_elements() {
+        // Fails whenever the vector has 3+ elements: minimal is [0, 0, 0].
+        let strategy = crate::collection::vec(0u32..100, 0..20);
+        let payload = minimized_payload(&strategy, |v: Vec<u32>| {
+            if v.len() >= 3 {
+                panic!("{v:?}");
+            }
+        });
+        assert_eq!(payload, "[0, 0, 0]");
+    }
+
+    #[test]
+    fn shrinking_respects_dependent_failure_conditions() {
+        // Fails only when both coordinates are large; each must settle at
+        // its own threshold, not race past the other.
+        let payload = minimized_payload(&(0i32..500, 0i32..500), |(a, b)| {
+            if a >= 7 && b >= 21 {
+                panic!("a={a} b={b}");
+            }
+        });
+        assert_eq!(payload, "a=7 b=21");
     }
 }

@@ -1,0 +1,223 @@
+//! Cross-crate acceptance tests for the two-tier compilation cache: the
+//! persistent disk tier must warm-start a fresh engine bit-identically on
+//! the full Table 1 suite, corrupt cache files must degrade to misses (not
+//! errors), concurrent duplicate jobs must compile exactly once, and the
+//! bounded memory tier must evict without ever changing results.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ph_engine::{BatchEngine, CacheConfig, CompileJob, Pipeline, Target};
+use workloads::suite;
+
+/// A unique, self-cleaning cache directory under the system temp dir.
+struct CacheDir(PathBuf);
+
+impl CacheDir {
+    fn new(tag: &str) -> CacheDir {
+        let dir =
+            std::env::temp_dir().join(format!("ph-engine-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CacheDir(dir)
+    }
+
+    fn config(&self) -> CacheConfig {
+        CacheConfig {
+            disk_dir: Some(self.0.clone()),
+            ..CacheConfig::default()
+        }
+    }
+
+    fn files(&self) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = fs::read_dir(&self.0)
+            .expect("cache dir exists after a cold run")
+            .map(|e| e.expect("readable dir entry").path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "phc"))
+            .collect();
+        files.sort();
+        files
+    }
+}
+
+impl Drop for CacheDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn ft_engine(config: CacheConfig) -> BatchEngine {
+    BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_cache_config(config)
+}
+
+/// Every fault-tolerant Table 1 benchmark as a batch job. (The FT subset
+/// keeps the default target, so jobs stay self-contained.)
+fn ft_jobs() -> Vec<CompileJob> {
+    suite::all_names()
+        .iter()
+        .filter(|&&name| {
+            suite::generate(name).class == workloads::suite::BackendClass::FaultTolerant
+        })
+        .map(|&name| CompileJob::named(name, suite::generate(name).ir))
+        .collect()
+}
+
+#[test]
+fn disk_tier_warm_starts_a_fresh_engine_bit_identically() {
+    let dir = CacheDir::new("roundtrip");
+
+    let cold = ft_engine(dir.config());
+    let cold_results = cold.compile_all(ft_jobs());
+    let n = cold_results.len() as u64;
+    let cs = cold.engine().cache_stats();
+    assert_eq!((cs.misses, cs.disk_hits), (n, 0), "cold run compiles all");
+    assert_eq!(dir.files().len() as u64, n, "one cache file per program");
+
+    // A fresh engine (empty memory tier) must serve everything from disk.
+    let warm = ft_engine(dir.config());
+    let warm_results = warm.compile_all(ft_jobs());
+    let ws = warm.engine().cache_stats();
+    assert_eq!((ws.misses, ws.disk_hits), (0, n), "warm run never compiles");
+
+    for (c, w) in cold_results.iter().zip(&warm_results) {
+        let cold_out = c.outcome.as_ref().expect("suite benchmarks compile");
+        let warm_out = w.outcome.as_ref().expect("deserialized entry is valid");
+        assert!(warm_out.report.cache_hit, "{}: expected a disk hit", w.name);
+        assert_eq!(
+            cold_out.compiled.circuit, warm_out.compiled.circuit,
+            "{}: disk round-trip changed the circuit",
+            w.name
+        );
+        assert_eq!(cold_out.compiled.emitted, warm_out.compiled.emitted);
+        assert_eq!(cold_out.compiled.initial_l2p, warm_out.compiled.initial_l2p);
+        assert_eq!(cold_out.compiled.final_l2p, warm_out.compiled.final_l2p);
+    }
+}
+
+#[test]
+fn corrupt_cache_files_degrade_to_misses() {
+    let dir = CacheDir::new("corrupt");
+    let jobs = || {
+        vec![
+            CompileJob::named("a", suite::generate("Ising-1D").ir),
+            CompileJob::named("b", suite::generate("Heisen-1D").ir),
+        ]
+    };
+
+    let cold = ft_engine(dir.config());
+    let reference = cold.compile_all(jobs());
+    let files = dir.files();
+    assert_eq!(files.len(), 2);
+
+    // Flip bytes in the middle of one entry and truncate the header of the
+    // other: both classes of damage must read as "not cached".
+    let mut bytes = fs::read(&files[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&files[0], bytes).unwrap();
+    fs::write(&files[1], b"PH").unwrap();
+
+    let warm = ft_engine(dir.config());
+    let recompiled = warm.compile_all(jobs());
+    let ws = warm.engine().cache_stats();
+    assert_eq!(
+        (ws.misses, ws.disk_hits),
+        (2, 0),
+        "corrupt files must count as misses, not hits or errors"
+    );
+    for (r, c) in recompiled.iter().zip(&reference) {
+        assert_eq!(
+            r.outcome.as_ref().unwrap().compiled.circuit,
+            c.outcome.as_ref().unwrap().compiled.circuit,
+            "{}: recompile after corruption diverged",
+            r.name
+        );
+    }
+
+    // The recompile rewrote valid entries; a third engine hits both.
+    let healed = ft_engine(dir.config());
+    healed.compile_all(jobs());
+    assert_eq!(healed.engine().cache_stats().disk_hits, 2);
+}
+
+#[test]
+fn concurrent_duplicate_jobs_compile_exactly_once() {
+    let ir = suite::generate("Heisen-2D").ir;
+    let jobs: Vec<CompileJob> = (0..8)
+        .map(|i| CompileJob::named(format!("step-{i}"), ir.clone()))
+        .collect();
+
+    let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(4);
+    let outputs: Vec<_> = engine
+        .compile_all(jobs)
+        .into_iter()
+        .map(|r| r.outcome.expect("valid program"))
+        .collect();
+
+    let stats = engine.engine().cache_stats();
+    assert_eq!(stats.misses, 1, "racing workers must compile once");
+    assert_eq!(
+        stats.hits + stats.coalesced,
+        7,
+        "every duplicate is either a hit or a coalesced wait"
+    );
+    assert_eq!(stats.entries, 1);
+    for o in &outputs[1..] {
+        assert!(
+            Arc::ptr_eq(&o.compiled, &outputs[0].compiled),
+            "duplicates must share one allocation"
+        );
+    }
+}
+
+#[test]
+fn bounded_cache_evicts_without_changing_results() {
+    let a = suite::generate("Ising-1D").ir;
+    let b = suite::generate("Heisen-1D").ir;
+    // Alternating workload against a one-entry cache: every lookup evicts
+    // the other program, so nothing is ever served stale.
+    let jobs: Vec<CompileJob> = (0..6)
+        .map(|i| {
+            let ir = if i % 2 == 0 { a.clone() } else { b.clone() };
+            CompileJob::named(format!("job-{i}"), ir)
+        })
+        .collect();
+
+    let engine = ft_engine(CacheConfig {
+        max_entries: Some(1),
+        ..CacheConfig::default()
+    })
+    .with_threads(1);
+    let results = engine.compile_all(jobs);
+    let stats = engine.engine().cache_stats();
+    assert_eq!(stats.misses, 6, "thrashing workload recompiles every step");
+    assert_eq!(stats.evictions, 5, "each insert after the first evicts");
+    assert_eq!(stats.entries, 1, "budget is enforced");
+
+    let ra = results[0].outcome.as_ref().unwrap();
+    let rb = results[1].outcome.as_ref().unwrap();
+    for (i, r) in results.iter().enumerate() {
+        let out = r.outcome.as_ref().unwrap();
+        let want = if i % 2 == 0 { ra } else { rb };
+        assert_eq!(out.compiled.circuit, want.compiled.circuit, "job-{i}");
+    }
+}
+
+#[test]
+fn without_cache_skips_key_derivation_and_never_hits() {
+    let ir = suite::generate("Ising-1D").ir;
+    let jobs: Vec<CompileJob> = (0..3)
+        .map(|i| CompileJob::named(format!("step-{i}"), ir.clone()))
+        .collect();
+
+    let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant)
+        .without_cache()
+        .with_threads(1);
+    for r in engine.compile_all(jobs) {
+        let out = r.outcome.expect("valid program");
+        assert!(!out.report.cache_hit);
+        assert_eq!(out.report.key, 0, "uncached compiles skip fingerprinting");
+    }
+    let stats = engine.engine().cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+}
