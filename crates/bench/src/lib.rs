@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use baselines::generic::{self, Mapping};
@@ -14,7 +15,8 @@ use baselines::tk;
 use paulihedral::ir::PauliIR;
 use paulihedral::Scheduler;
 use ph_engine::{
-    BatchEngine, CacheConfig, CacheStats, CompileJob, CompileReport, Engine, Pipeline, Target,
+    BatchEngine, CacheConfig, CacheStats, Collector, CompileJob, CompileReport, Engine,
+    MetricsSnapshot, Pipeline, Target, Telemetry,
 };
 use qcircuit::{Circuit, CircuitStats};
 use qdevice::CouplingMap;
@@ -192,6 +194,11 @@ pub struct SuiteRun {
     /// Cache counters after the batch (hits, disk hits, coalesced waits,
     /// evictions, resident bytes).
     pub cache: CacheStats,
+    /// The run's telemetry metrics: cache event counters plus latency
+    /// histograms (`compile.total_ns`, `pass.<name>_ns`,
+    /// `batch.job_wall_ns`, `batch.queue_wait_ns`) with
+    /// p50/p90/p99 summaries.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Compiles named Table 1 benchmarks through the [`BatchEngine`]: SC
@@ -241,8 +248,10 @@ pub fn run_suite_with(
             }
         })
         .collect();
-    let mut engine =
-        BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_cache_config(cache);
+    let collector = Arc::new(Collector::new());
+    let mut engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant)
+        .with_cache_config(cache)
+        .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
     if let Some(t) = threads {
         engine = engine.with_threads(t);
     }
@@ -263,6 +272,7 @@ pub fn run_suite_with(
     SuiteRun {
         results,
         cache: engine.engine().cache_stats(),
+        metrics: collector.metrics(),
     }
 }
 
@@ -421,10 +431,22 @@ mod tests {
         };
         let cold = run_suite_with(&names, &device, Some(2), config.clone());
         assert_eq!((cold.cache.misses, cold.cache.disk_hits), (2, 0));
+        // The telemetry snapshot mirrors the cache counters and carries
+        // the per-pass latency histograms.
+        assert_eq!(cold.metrics.counter("cache.miss"), 2);
+        assert_eq!(cold.metrics.counter("cache.disk_write"), 2);
+        let h = cold
+            .metrics
+            .histogram("compile.total_ns")
+            .expect("compile latency histogram present");
+        assert_eq!(h.count, 2);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
         // A fresh engine (empty memory tier) against the same directory is
         // served entirely from disk, bit-identically.
         let warm = run_suite_with(&names, &device, Some(2), config);
         assert_eq!((warm.cache.misses, warm.cache.disk_hits), (0, 2));
+        assert_eq!(warm.metrics.counter("cache.disk_read"), 2);
+        assert_eq!(warm.metrics.counter("cache.miss"), 0);
         for (c, w) in cold.results.iter().zip(&warm.results) {
             assert_eq!(c.stats, w.stats, "{}: warm stats differ", c.name);
             assert!(

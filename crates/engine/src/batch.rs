@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use paulihedral::ir::PauliIR;
 use paulihedral::{CompileError, Scheduler};
+use ph_telemetry::Telemetry;
 
 use crate::engine::{Engine, EngineOutput};
 use crate::pass::Target;
@@ -66,6 +67,9 @@ pub struct BatchResult {
     pub outcome: Result<EngineOutput, CompileError>,
     /// Wall time this job spent inside a worker (queue wait excluded).
     pub wall: Duration,
+    /// How long the job sat in the queue before a worker picked it up
+    /// (time from batch start to job start).
+    pub queue_wait: Duration,
 }
 
 /// A worker pool over an [`Engine`].
@@ -108,6 +112,16 @@ impl BatchEngine {
         self
     }
 
+    /// Attaches a telemetry handle to the underlying engine (see
+    /// [`Engine::with_telemetry`]); the batch driver additionally emits
+    /// one `batch` span per [`BatchEngine::compile_all`], one
+    /// `job:<name>` span per job (queue wait in its args), and the
+    /// `batch.job_wall_ns` / `batch.queue_wait_ns` histograms.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> BatchEngine {
+        self.engine = self.engine.with_telemetry(telemetry);
+        self
+    }
+
     /// The underlying engine (cache statistics, one-off compiles).
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -118,6 +132,12 @@ impl BatchEngine {
         self.threads
     }
 
+    /// Workers [`BatchEngine::compile_all`] will actually spawn for a
+    /// batch of `jobs` jobs: never more threads than jobs.
+    pub fn worker_count(&self, jobs: usize) -> usize {
+        self.threads.min(jobs)
+    }
+
     /// Compiles every job, fanning out across the worker pool. Results
     /// come back in job order; per-job failures are values, not batch
     /// failures.
@@ -125,7 +145,13 @@ impl BatchEngine {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let workers = self.threads.min(jobs.len());
+        let workers = self.worker_count(jobs.len());
+        let telemetry = self.engine.telemetry();
+        let batch_span = telemetry.span_with(
+            "batch",
+            vec![("jobs", jobs.len().into()), ("workers", workers.into())],
+        );
+        let batch_start = Instant::now();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<BatchResult>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -135,18 +161,34 @@ impl BatchEngine {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let t0 = Instant::now();
+                    // Time spent queued: from batch start until a worker
+                    // picked the job up (invisible to the in-worker wall).
+                    let queue_wait = batch_start.elapsed();
+                    let job_span = telemetry.span_with(
+                        format!("job:{}", job.name),
+                        vec![(
+                            "queue_wait_us",
+                            u64::try_from(queue_wait.as_micros())
+                                .unwrap_or(u64::MAX)
+                                .into(),
+                        )],
+                    );
                     let outcome =
                         self.engine
                             .compile_with(&job.ir, job.target.as_ref(), job.scheduler);
+                    let wall = job_span.finish();
+                    telemetry.record_duration("batch.job_wall_ns", wall);
+                    telemetry.record_duration("batch.queue_wait_ns", queue_wait);
                     *slots[i].lock().expect("batch slot poisoned") = Some(BatchResult {
                         name: job.name.clone(),
                         outcome,
-                        wall: t0.elapsed(),
+                        wall,
+                        queue_wait,
                     });
                 });
             }
         });
+        drop(batch_span);
 
         slots
             .into_iter()

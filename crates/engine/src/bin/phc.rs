@@ -6,21 +6,31 @@
 //! ```text
 //! phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC]
 //!                 [--scheduler auto|gco|do] [--qasm OUT.qasm] [--report]
+//!                 [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]
 //! ```
 //!
 //! Batch mode (compiles many programs across a worker pool and emits a
-//! JSON report with per-pass instrumentation and cache counters):
+//! JSON report with per-pass instrumentation, cache counters, and latency
+//! histogram percentiles):
 //!
 //! ```text
 //! phc batch INPUT1.pauli INPUT2.pauli … [--backend …] [--scheduler …]
 //!           [--threads N] [--json REPORT.json]
 //!           [--cache-dir DIR] [--cache-entries N] [--cache-bytes N]
+//!           [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]
 //! ```
 //!
 //! `--cache-dir` enables the persistent cache tier: a second run over the
 //! same inputs and configuration is served from `DIR` instead of
 //! recompiling. `--cache-entries`/`--cache-bytes` bound the in-memory tier
 //! (LRU eviction; see the `cache` object of the JSON report for counters).
+//!
+//! `--trace-out` writes a Chrome `trace_event` file — open it at
+//! `chrome://tracing` or <https://ui.perfetto.dev> to see per-worker job
+//! spans with the pass spans nested inside them and cache events on the
+//! timeline. `--metrics-out` writes the same stream as JSONL (one JSON
+//! object per line: every span/instant event, then final
+//! counter/gauge/histogram values).
 //!
 //! Example input file:
 //!
@@ -34,14 +44,66 @@
 //! library — the reverse dependency would be a package cycle.)
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use paulihedral::parse::parse_program;
 use paulihedral::Scheduler;
-use ph_engine::{BatchEngine, BatchResult, CacheConfig, CompileJob, Engine, Pipeline, Target};
+use ph_engine::json::Json;
+use ph_engine::{
+    BatchEngine, BatchResult, CacheConfig, Collector, CompileJob, Engine, MetricsSnapshot,
+    Pipeline, Target, Telemetry,
+};
+use ph_telemetry::export;
 use qcircuit::qasm::{to_qasm, QasmOptions};
 use qdevice::devices;
 
+/// The single flag table both the parser and the positional filter derive
+/// from: every `--flag` the CLI understands, and whether it consumes the
+/// next argument as its value. Adding a flag here is the *only* step —
+/// `positionals()` and unknown-flag rejection follow automatically.
+const FLAGS: &[(&str, bool)] = &[
+    ("--backend", true),
+    ("--scheduler", true),
+    ("--qasm", true),
+    ("--threads", true),
+    ("--json", true),
+    ("--cache-dir", true),
+    ("--cache-entries", true),
+    ("--cache-bytes", true),
+    ("--trace-out", true),
+    ("--metrics-out", true),
+    ("--report", false),
+];
+
+fn flag_takes_value(flag: &str) -> Option<bool> {
+    FLAGS.iter().find(|(f, _)| *f == flag).map(|&(_, v)| v)
+}
+
+/// Splits `args` into positionals, validating every flag against the
+/// table: unknown `--flags` and value flags missing their value are hard
+/// errors, never silently treated as input files.
+fn positionals(args: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match flag_takes_value(a) {
+            Some(true) => {
+                if iter.next().is_none() {
+                    return Err(format!("{a} requires a value"));
+                }
+            }
+            Some(false) => {}
+            None if a.starts_with("--") => {
+                return Err(format!("unknown flag `{a}` (see phc --help in the docs)"));
+            }
+            None => out.push(a.clone()),
+        }
+    }
+    Ok(out)
+}
+
 fn value_of(args: &[String], flag: &str) -> Option<String> {
+    debug_assert_eq!(flag_takes_value(flag), Some(true), "{flag} not in table");
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
@@ -49,38 +111,8 @@ fn value_of(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn flag_present(args: &[String], flag: &str) -> bool {
+    debug_assert_eq!(flag_takes_value(flag), Some(false), "{flag} not in table");
     args.iter().any(|a| a == flag)
-}
-
-/// Positional (non-flag, non-flag-value) arguments.
-fn positionals(args: &[String]) -> Vec<String> {
-    let value_flags = [
-        "--scheduler",
-        "--qasm",
-        "--backend",
-        "--threads",
-        "--json",
-        "--cache-dir",
-        "--cache-entries",
-        "--cache-bytes",
-    ];
-    let mut out = Vec::new();
-    let mut skip = false;
-    for a in args {
-        if skip {
-            skip = false;
-            continue;
-        }
-        if value_flags.contains(&a.as_str()) {
-            skip = true;
-            continue;
-        }
-        if a.starts_with("--") {
-            continue;
-        }
-        out.push(a.clone());
-    }
-    out
 }
 
 fn parse_target(spec: &str, n_program: usize) -> Result<Target, String> {
@@ -117,81 +149,110 @@ fn parse_scheduler(args: &[String]) -> Result<Scheduler, String> {
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+fn job_json(r: &BatchResult) -> Json {
+    match &r.outcome {
+        Ok(o) => {
+            let stats = o.compiled.circuit.mapped_stats();
+            let passes: Vec<Json> = o
+                .report
+                .passes
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("name", Json::str(&p.name)),
+                        ("wall_ms", Json::f64_rounded(p.wall.as_secs_f64() * 1e3, 3)),
+                        ("cnot_delta", Json::I64(p.cnot_delta())),
+                        ("single_delta", Json::I64(p.single_delta())),
+                        ("depth_delta", Json::I64(p.depth_delta())),
+                        ("note", Json::str(&p.note)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("name", Json::str(&r.name)),
+                ("ok", Json::Bool(true)),
+                ("cache_hit", Json::Bool(o.report.cache_hit)),
+                ("key", Json::str(format!("{:016x}", o.report.key))),
+                ("cnot", Json::U64(stats.cnot as u64)),
+                ("single", Json::U64(stats.single as u64)),
+                ("total", Json::U64(stats.total as u64)),
+                ("depth", Json::U64(stats.depth as u64)),
+                ("wall_ms", Json::f64_rounded(r.wall.as_secs_f64() * 1e3, 3)),
+                (
+                    "queue_wait_ms",
+                    Json::f64_rounded(r.queue_wait.as_secs_f64() * 1e3, 3),
+                ),
+                ("passes", Json::Arr(passes)),
+            ])
         }
+        Err(e) => Json::obj([
+            ("name", Json::str(&r.name)),
+            ("ok", Json::Bool(false)),
+            ("error", Json::str(e.to_string())),
+        ]),
     }
-    out
 }
 
-fn json_report(results: &[BatchResult], engine: &Engine, threads: usize) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str("  \"jobs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        match &r.outcome {
-            Ok(o) => {
-                let stats = o.compiled.circuit.mapped_stats();
-                let passes: Vec<String> = o
-                    .report
-                    .passes
+/// The latency histograms of the metrics snapshot, percentiles in
+/// milliseconds (names keep their `_ns` suffix; values here are rescaled).
+fn metrics_json(snapshot: &MetricsSnapshot) -> Json {
+    let ms = |ns: u64| Json::f64_rounded(ns as f64 / 1e6, 3);
+    Json::obj([
+        (
+            "counters",
+            Json::obj(
+                snapshot
+                    .counters
                     .iter()
-                    .map(|p| {
-                        format!(
-                            "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cnot_delta\": {}, \
-                             \"single_delta\": {}, \"depth_delta\": {}, \"note\": \"{}\"}}",
-                            json_escape(&p.name),
-                            p.wall.as_secs_f64() * 1e3,
-                            p.cnot_delta(),
-                            p.single_delta(),
-                            p.depth_delta(),
-                            json_escape(&p.note)
-                        )
-                    })
-                    .collect();
-                out.push_str(&format!(
-                    "    {{\"name\": \"{}\", \"ok\": true, \"cache_hit\": {}, \
-                     \"key\": \"{:016x}\", \"cnot\": {}, \"single\": {}, \"total\": {}, \
-                     \"depth\": {}, \"wall_ms\": {:.3}, \"passes\": [{}]}}{comma}\n",
-                    json_escape(&r.name),
-                    o.report.cache_hit,
-                    o.report.key,
-                    stats.cnot,
-                    stats.single,
-                    stats.total,
-                    stats.depth,
-                    r.wall.as_secs_f64() * 1e3,
-                    passes.join(", ")
-                ));
-            }
-            Err(e) => {
-                out.push_str(&format!(
-                    "    {{\"name\": \"{}\", \"ok\": false, \"error\": \"{}\"}}{comma}\n",
-                    json_escape(&r.name),
-                    json_escape(&e.to_string())
-                ));
-            }
-        }
-    }
-    out.push_str("  ],\n");
+                    .map(|(k, &v)| (k.clone(), Json::U64(v))),
+            ),
+        ),
+        (
+            "histograms_ms",
+            Json::obj(snapshot.histograms.iter().map(|(k, h)| {
+                (
+                    k.trim_end_matches("_ns").to_string(),
+                    Json::obj([
+                        ("count", Json::U64(h.count)),
+                        ("min", ms(h.min)),
+                        ("max", ms(h.max)),
+                        ("mean", ms(h.mean)),
+                        ("p50", ms(h.p50)),
+                        ("p90", ms(h.p90)),
+                        ("p99", ms(h.p99)),
+                    ]),
+                )
+            })),
+        ),
+    ])
+}
+
+fn json_report(
+    results: &[BatchResult],
+    engine: &Engine,
+    threads: usize,
+    snapshot: &MetricsSnapshot,
+) -> String {
     let cs = engine.cache_stats();
-    out.push_str(&format!(
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"disk_hits\": {}, \
-         \"coalesced\": {}, \"evictions\": {}, \"entries\": {}, \"resident_bytes\": {}}}\n",
-        cs.hits, cs.misses, cs.disk_hits, cs.coalesced, cs.evictions, cs.entries, cs.resident_bytes
-    ));
-    out.push_str("}\n");
+    let report = Json::obj([
+        ("threads", Json::U64(threads as u64)),
+        ("jobs", Json::Arr(results.iter().map(job_json).collect())),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::U64(cs.hits)),
+                ("misses", Json::U64(cs.misses)),
+                ("disk_hits", Json::U64(cs.disk_hits)),
+                ("coalesced", Json::U64(cs.coalesced)),
+                ("evictions", Json::U64(cs.evictions)),
+                ("entries", Json::U64(cs.entries as u64)),
+                ("resident_bytes", Json::U64(cs.resident_bytes as u64)),
+            ]),
+        ),
+        ("metrics", metrics_json(snapshot)),
+    ]);
+    let mut out = report.to_pretty();
+    out.push('\n');
     out
 }
 
@@ -214,13 +275,28 @@ fn parse_cache_config(args: &[String]) -> Result<CacheConfig, String> {
     Ok(config)
 }
 
+/// Writes the `--trace-out` / `--metrics-out` exports, if requested.
+fn write_exports(args: &[String], collector: &Collector) -> Result<(), String> {
+    if let Some(path) = value_of(args, "--trace-out") {
+        std::fs::write(&path, export::chrome_trace(collector))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = value_of(args, "--metrics-out") {
+        std::fs::write(&path, export::jsonl(collector))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn run_batch(args: &[String]) -> Result<(), String> {
-    let files = positionals(args);
+    let files = positionals(args)?;
     if files.is_empty() {
         return Err(
             "usage: phc batch INPUT1.pauli INPUT2.pauli … [--backend B] [--scheduler S] \
              [--threads N] [--json OUT.json] [--cache-dir DIR] [--cache-entries N] \
-             [--cache-bytes N]"
+             [--cache-bytes N] [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]"
                 .into(),
         );
     }
@@ -238,8 +314,12 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         max_qubits,
     )?;
 
+    // Batch runs always collect: the report's percentiles come from the
+    // same telemetry stream --trace-out/--metrics-out export.
+    let collector = Arc::new(Collector::new());
     let mut engine = BatchEngine::new(Pipeline::standard(scheduler), target)
-        .with_cache_config(parse_cache_config(args)?);
+        .with_cache_config(parse_cache_config(args)?)
+        .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
     if let Some(t) = value_of(args, "--threads") {
         let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
         engine = engine.with_threads(t);
@@ -283,8 +363,18 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         cs.misses,
         cs.evictions
     );
+    let snapshot = collector.metrics();
+    if let Some(h) = snapshot.histogram("batch.job_wall_ns") {
+        eprintln!(
+            "job wall: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms (n={})",
+            h.p50 as f64 / 1e6,
+            h.p90 as f64 / 1e6,
+            h.p99 as f64 / 1e6,
+            h.count
+        );
+    }
 
-    let json = json_report(&results, engine.engine(), threads);
+    let json = json_report(&results, engine.engine(), threads, &snapshot);
     match value_of(args, "--json") {
         Some(path) if path != "-" => {
             std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -292,6 +382,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         }
         _ => print!("{json}"),
     }
+    write_exports(args, &collector)?;
     if failures > 0 {
         return Err(format!("{failures} job(s) failed"));
     }
@@ -299,10 +390,10 @@ fn run_batch(args: &[String]) -> Result<(), String> {
 }
 
 fn run_single(args: &[String]) -> Result<(), String> {
-    let input = positionals(args).into_iter().next().ok_or(
+    let input = positionals(args)?.into_iter().next().ok_or(
         "usage: phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC] \
-         [--scheduler auto|gco|do] [--qasm OUT.qasm] [--report]\n       phc batch INPUT… \
-         [--threads N] [--json OUT.json]",
+         [--scheduler auto|gco|do] [--qasm OUT.qasm] [--report] [--trace-out TRACE.json] \
+         [--metrics-out METRICS.jsonl]\n       phc batch INPUT… [--threads N] [--json OUT.json]",
     )?;
     let text = std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
     let ir = parse_program(&text).map_err(|e| format!("{input}: {e}"))?;
@@ -320,7 +411,9 @@ fn run_single(args: &[String]) -> Result<(), String> {
         ir.num_qubits(),
     )?;
 
-    let engine = Engine::new(Pipeline::standard(scheduler), target);
+    let collector = Arc::new(Collector::new());
+    let engine = Engine::new(Pipeline::standard(scheduler), target)
+        .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
     let out = engine.compile(&ir).map_err(|e| e.to_string())?;
     let stats = out.compiled.circuit.mapped_stats();
     println!(
@@ -348,6 +441,7 @@ fn run_single(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, qasm).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+    write_exports(args, &collector)?;
     Ok(())
 }
 
@@ -362,6 +456,55 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("phc: {msg}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_skip_flag_values_from_the_table() {
+        let args = argv(&[
+            "a.pauli",
+            "--scheduler",
+            "do",
+            "b.pauli",
+            "--trace-out",
+            "t.json",
+            "--report",
+            "c.pauli",
+        ]);
+        assert_eq!(
+            positionals(&args).unwrap(),
+            ["a.pauli", "b.pauli", "c.pauli"]
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_hard_errors_not_inputs() {
+        let err = positionals(&argv(&["a.pauli", "--trace_out", "t.json"])).unwrap_err();
+        assert!(err.contains("unknown flag `--trace_out`"), "{err}");
+    }
+
+    #[test]
+    fn value_flag_without_value_is_an_error() {
+        let err = positionals(&argv(&["a.pauli", "--json"])).unwrap_err();
+        assert!(err.contains("--json requires a value"), "{err}");
+    }
+
+    #[test]
+    fn every_flag_in_the_table_is_unique() {
+        for (i, (a, _)) in FLAGS.iter().enumerate() {
+            assert!(
+                FLAGS.iter().skip(i + 1).all(|(b, _)| a != b),
+                "duplicate flag {a}"
+            );
         }
     }
 }

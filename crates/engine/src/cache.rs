@@ -26,9 +26,11 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 use paulihedral::ir::PauliIR;
 use paulihedral::Compiled;
+use ph_telemetry::Telemetry;
 
 use crate::persist;
 use crate::report::CompileReport;
@@ -385,6 +387,7 @@ pub struct CompileCache {
     disk_hits: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl CompileCache {
@@ -406,6 +409,29 @@ impl CompileCache {
         &self.config
     }
 
+    /// Attaches a telemetry handle: every counter bump also emits a
+    /// same-named trace event (`cache.hit`, `cache.miss`,
+    /// `cache.disk_read`, `cache.disk_write`, `cache.eviction`,
+    /// `cache.coalesce`), so trace event counts always equal
+    /// [`CacheStats`] counters, and waits on the entries lock feed the
+    /// `cache.lock_wait_ns` histogram.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Locks the memory tier, recording how long the lock was contended.
+    fn lock_entries(&self) -> MutexGuard<'_, LruMap> {
+        if self.telemetry.is_enabled() {
+            let t0 = Instant::now();
+            let guard = relock(&self.entries);
+            self.telemetry
+                .record_duration("cache.lock_wait_ns", t0.elapsed());
+            guard
+        } else {
+            relock(&self.entries)
+        }
+    }
+
     /// The disk-tier path of a key.
     fn disk_path(dir: &Path, key: u64) -> PathBuf {
         dir.join(format!("{key:016x}.phc"))
@@ -414,13 +440,27 @@ impl CompileCache {
     /// Probes both tiers without touching the hit/miss counters. A disk
     /// hit is promoted into the memory tier.
     fn probe(&self, key: u64) -> Option<(CacheEntry, CacheOutcome)> {
-        if let Some(entry) = relock(&self.entries).touch(key) {
+        if let Some(entry) = self.lock_entries().touch(key) {
+            self.telemetry.mark("cache.hit", &[]);
             return Some((entry, CacheOutcome::MemoryHit));
         }
         let dir = self.config.disk_dir.as_deref()?;
+        let t0 = Instant::now();
         let bytes = std::fs::read(Self::disk_path(dir, key)).ok()?;
         // Corrupt, truncated, or foreign files are misses, not errors.
         let entry = persist::decode_entry(&bytes).ok()?;
+        self.telemetry.mark(
+            "cache.disk_read",
+            &[
+                ("bytes", bytes.len().into()),
+                (
+                    "read_us",
+                    u64::try_from(t0.elapsed().as_micros())
+                        .unwrap_or(u64::MAX)
+                        .into(),
+                ),
+            ],
+        );
         self.admit(key, entry.clone());
         Some((entry, CacheOutcome::DiskHit))
     }
@@ -435,8 +475,8 @@ impl CompileCache {
             return;
         }
         let mut evicted = 0;
-        {
-            let mut map = relock(&self.entries);
+        let (entries, resident_bytes) = {
+            let mut map = self.lock_entries();
             map.insert(key, entry, cost);
             let over = |map: &LruMap| {
                 self.config.max_entries.is_some_and(|m| map.len() > m)
@@ -445,8 +485,15 @@ impl CompileCache {
             while over(&map) && map.pop_lru().is_some() {
                 evicted += 1;
             }
-        }
+            (map.len(), map.bytes)
+        };
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        for _ in 0..evicted {
+            self.telemetry.mark("cache.eviction", &[]);
+        }
+        self.telemetry.gauge("cache.entries", entries as f64);
+        self.telemetry
+            .gauge("cache.resident_bytes", resident_bytes as f64);
     }
 
     /// Best-effort write-back to the disk tier (atomic via temp + rename;
@@ -465,9 +512,22 @@ impl CompileCache {
         let path = Self::disk_path(dir, key);
         let bytes = persist::encode_entry(entry);
         let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
+        let t0 = Instant::now();
         if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
+        self.telemetry.mark(
+            "cache.disk_write",
+            &[
+                ("bytes", bytes.len().into()),
+                (
+                    "write_us",
+                    u64::try_from(t0.elapsed().as_micros())
+                        .unwrap_or(u64::MAX)
+                        .into(),
+                ),
+            ],
+        );
     }
 
     /// Looks up a key in both tiers, bumping the hit/miss counters.
@@ -483,6 +543,7 @@ impl CompileCache {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.mark("cache.miss", &[]);
                 None
             }
         }
@@ -529,6 +590,7 @@ impl CompileCache {
 
             if !leader {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.mark("cache.coalesce", &[]);
                 let mut state = relock(&flight.state);
                 while matches!(*state, FlightState::Pending) {
                     state = flight
@@ -562,6 +624,7 @@ impl CompileCache {
                 return Ok((entry, outcome));
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.mark("cache.miss", &[]);
             return match compute() {
                 Ok(entry) => {
                     self.insert(key, entry.clone());
@@ -579,7 +642,7 @@ impl CompileCache {
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let (entries, resident_bytes) = {
-            let map = relock(&self.entries);
+            let map = self.lock_entries();
             (map.len(), map.bytes)
         };
         CacheStats {

@@ -2,10 +2,10 @@
 //! cache fill, with full per-pass instrumentation.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use paulihedral::ir::PauliIR;
 use paulihedral::{validate, CompileError, Compiled, Scheduler};
+use ph_telemetry::Telemetry;
 
 use crate::cache::{
     fingerprint_ir, CacheConfig, CacheEntry, CacheOutcome, CacheStats, CompileCache, Fingerprint,
@@ -34,6 +34,7 @@ pub struct Engine {
     target: Target,
     cache: CompileCache,
     cache_enabled: bool,
+    telemetry: Telemetry,
 }
 
 impl Engine {
@@ -45,6 +46,7 @@ impl Engine {
             target,
             cache: CompileCache::new(),
             cache_enabled: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -53,7 +55,25 @@ impl Engine {
     /// before the first compilation.
     pub fn with_cache_config(mut self, config: CacheConfig) -> Engine {
         self.cache = CompileCache::with_config(config);
+        self.cache.set_telemetry(self.telemetry.clone());
         self
+    }
+
+    /// Attaches a telemetry handle: one span per request (`compile`) and
+    /// per pass (the pass's name), cache events on the shared cache, and
+    /// latency histograms (`compile.total_ns`, `pass.<name>_ns`).
+    /// Builder-style; the default is the zero-cost
+    /// [`Telemetry::disabled`] sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Engine {
+        self.cache.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry handle (disabled unless
+    /// [`Engine::with_telemetry`] attached one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Disables the compilation cache (for benchmarking flows that must
@@ -105,7 +125,9 @@ impl Engine {
         target: Option<&Target>,
         scheduler: Option<Scheduler>,
     ) -> Result<EngineOutput, CompileError> {
-        let t0 = Instant::now();
+        // The request span both traces the compile and is its timer: its
+        // wall time becomes `CompileReport::total`.
+        let span = self.telemetry.span("compile");
         let target = target.unwrap_or(&self.target);
         validate(ir, &target.as_backend())?;
         let ctx = PassContext {
@@ -118,7 +140,9 @@ impl Engine {
             // request; benchmark flows measure pure compile time.
             let entry = self.execute(ir, &ctx, 0)?;
             let mut report = entry.report;
-            report.total = t0.elapsed();
+            report.total = span.finish();
+            self.telemetry
+                .record_duration("compile.total_ns", report.total);
             return Ok(EngineOutput {
                 compiled: entry.compiled,
                 report,
@@ -131,7 +155,9 @@ impl Engine {
             .get_or_compute(key, || self.execute(ir, &ctx, key))?;
         let mut report = entry.report;
         report.cache_hit = outcome != CacheOutcome::Compiled;
-        report.total = t0.elapsed();
+        report.total = span.finish();
+        self.telemetry
+            .record_duration("compile.total_ns", report.total);
         Ok(EngineOutput {
             compiled: entry.compiled,
             report,
@@ -145,16 +171,21 @@ impl Engine {
         ctx: &PassContext<'_>,
         key: u64,
     ) -> Result<CacheEntry, CompileError> {
-        let t0 = Instant::now();
+        let span = self.telemetry.span("pipeline");
         let mut unit = CompileUnit::new(ir.clone());
         let mut records: Vec<PassRecord> = Vec::with_capacity(self.pipeline.passes().len());
         for pass in self.pipeline.passes() {
             let before = unit.stats();
-            let t_pass = Instant::now();
+            // The pass span is also the pass timer (a failing pass still
+            // records its end event when the guard drops).
+            let pass_span = self.telemetry.span(pass.name());
             let note = pass.run(&mut unit, ctx)?;
+            let wall = pass_span.finish();
+            self.telemetry
+                .record_duration(&format!("pass.{}_ns", pass.name()), wall);
             records.push(PassRecord {
                 name: pass.name().to_string(),
-                wall: t_pass.elapsed(),
+                wall,
                 before,
                 after: unit.stats(),
                 note,
@@ -164,7 +195,7 @@ impl Engine {
             compiled: Arc::new(unit.into_compiled()),
             report: CompileReport {
                 passes: records,
-                total: t0.elapsed(),
+                total: span.finish(),
                 cache_hit: false,
                 key,
             },

@@ -20,6 +20,12 @@
 //! 3. **Batch driver** ([`batch`]): [`BatchEngine::compile_all`] spreads a
 //!    `Vec` of jobs across a `std::thread` worker pool (no external
 //!    runtime), preserving job order and sharing one cache.
+//! 4. **Telemetry** ([`ph_telemetry`], attached via
+//!    [`Engine::with_telemetry`] / [`BatchEngine::with_telemetry`]): spans
+//!    for every batch, job, request, and pass; cache events mirroring the
+//!    [`CacheStats`] counters; and latency histograms — exportable as a
+//!    JSONL stream or a Chrome/Perfetto trace. The default sink is a
+//!    no-op, so uninstrumented compiles pay effectively nothing.
 //!
 //! ```
 //! use ph_engine::{BatchEngine, CompileJob, Pipeline, Target};
@@ -48,10 +54,19 @@ pub mod pipeline;
 pub mod report;
 pub mod unit;
 
+/// The workspace's one JSON writer (escaping + value rendering), shared by
+/// the `phc` batch report and the telemetry exporters. Re-exported from
+/// [`ph_telemetry::json`] so the engine's consumers need no extra
+/// dependency edge.
+pub mod json {
+    pub use ph_telemetry::json::*;
+}
+
 pub use batch::{BatchEngine, BatchResult, CompileJob};
 pub use cache::{CacheConfig, CacheOutcome, CacheStats, CompileCache};
 pub use engine::{Engine, EngineOutput};
 pub use pass::{FusionPass, Pass, PassContext, PeepholePass, SchedulePass, SynthesisPass, Target};
+pub use ph_telemetry::{Collector, MetricsSnapshot, Telemetry};
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use report::{CompileReport, PassRecord};
 pub use unit::CompileUnit;

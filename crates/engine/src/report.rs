@@ -103,3 +103,72 @@ impl fmt::Display for CompileReport {
         f.write_str(&self.table())
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CompileReport {
+        let before = CircuitStats::default();
+        let after = CircuitStats {
+            cnot: 6,
+            single: 11,
+            swap: 0,
+            total: 17,
+            depth: 10,
+        };
+        CompileReport {
+            passes: vec![
+                PassRecord {
+                    name: "schedule".into(),
+                    wall: Duration::from_micros(1500),
+                    before,
+                    after: before,
+                    note: "do -> 2 layers".into(),
+                },
+                PassRecord {
+                    name: "synthesis".into(),
+                    wall: Duration::from_micros(250),
+                    before,
+                    after,
+                    note: "3 strings emitted".into(),
+                },
+            ],
+            total: Duration::from_micros(2000),
+            cache_hit: false,
+            key: 0xdead_beef_0123_4567,
+        }
+    }
+
+    // Golden rendering: any change to the table layout must be deliberate
+    // (phc --report and the examples print this verbatim).
+    #[test]
+    fn table_renders_the_golden_layout() {
+        let expected = "\
+pass          wall(ms)     ΔCNOT   Δsingle  Δdepth  note
+schedule         1.500        +0        +0      +0  do -> 2 layers
+synthesis        0.250        +6       +11     +10  3 strings emitted
+total 2.000 ms -> 6 CNOT, 11 single, depth 10 [key deadbeef01234567]
+";
+        assert_eq!(sample_report().table(), expected);
+    }
+
+    #[test]
+    fn table_marks_cache_hits_on_the_total_line() {
+        let mut report = sample_report();
+        report.cache_hit = true;
+        assert!(report.table().contains("total 2.000 ms (cache hit) ->"));
+    }
+
+    #[test]
+    fn final_stats_of_an_empty_pass_list_is_all_zeros() {
+        let report = CompileReport::default();
+        assert_eq!(report.final_stats(), CircuitStats::default());
+        // An empty report still renders: header plus the total line.
+        let table = report.table();
+        assert_eq!(table.lines().count(), 2);
+        assert!(
+            table.ends_with("total 0.000 ms -> 0 CNOT, 0 single, depth 0 [key 0000000000000000]\n")
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Exporters: Chrome `trace_event` JSON and a JSONL event/metric stream.
+//!
+//! * [`chrome_trace`] produces a JSON object with a `traceEvents` array in
+//!   the Chrome trace-event format — open it at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>. Spans become `B`/`E` pairs on their thread
+//!   track (so pass spans nest under job spans), instants become `i`
+//!   events.
+//! * [`jsonl`] produces one self-describing JSON object per line: every
+//!   event (`span_begin`/`span_end`/`instant`) followed by the final
+//!   metric values (`counter`/`gauge`/`histogram`). Each line parses
+//!   independently — `python3 -m json.tool` per line, `jq`, or a log
+//!   shipper all work.
+
+use crate::json::Json;
+use crate::{ArgValue, Collector, Event, EventKind, MetricsSnapshot};
+
+fn arg_json(v: &ArgValue) -> Json {
+    match v {
+        ArgValue::U64(n) => Json::U64(*n),
+        ArgValue::F64(f) => Json::F64(*f),
+        ArgValue::Str(s) => Json::str(s.clone()),
+    }
+}
+
+fn args_obj(args: &[(&'static str, ArgValue)]) -> Json {
+    Json::obj(args.iter().map(|(k, v)| (*k, arg_json(v))))
+}
+
+/// Microsecond timestamp with sub-µs fraction, as the trace format wants.
+fn ts_us(e: &Event) -> Json {
+    Json::f64_rounded(e.ts.as_nanos() as f64 / 1e3, 3)
+}
+
+/// Renders all events of `collector` as Chrome trace-event JSON.
+pub fn chrome_trace(collector: &Collector) -> String {
+    let pid = u64::from(std::process::id());
+    let mut trace_events: Vec<Json> = Vec::new();
+    for e in collector.events() {
+        let ph = match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        };
+        let mut fields = vec![
+            ("name".to_string(), Json::str(e.name.as_ref())),
+            ("cat".to_string(), Json::str("compile")),
+            ("ph".to_string(), Json::str(ph)),
+            ("ts".to_string(), ts_us(&e)),
+            ("pid".to_string(), Json::U64(pid)),
+            ("tid".to_string(), Json::U64(e.tid)),
+        ];
+        if e.kind == EventKind::Instant {
+            // Thread-scoped instant marker.
+            fields.push(("s".to_string(), Json::str("t")));
+        }
+        if !e.args.is_empty() {
+            fields.push(("args".to_string(), args_obj(&e.args)));
+        }
+        trace_events.push(Json::Obj(fields));
+    }
+    let mut out = Json::obj([
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+    .to_pretty();
+    out.push('\n');
+    out
+}
+
+fn event_line(e: &Event) -> Json {
+    let kind = match e.kind {
+        EventKind::Begin => "span_begin",
+        EventKind::End => "span_end",
+        EventKind::Instant => "instant",
+    };
+    let mut fields = vec![
+        ("type".to_string(), Json::str(kind)),
+        ("name".to_string(), Json::str(e.name.as_ref())),
+        ("ts_us".to_string(), ts_us(e)),
+        ("tid".to_string(), Json::U64(e.tid)),
+    ];
+    if e.id != 0 {
+        fields.push(("id".to_string(), Json::U64(e.id)));
+    }
+    if let Some(parent) = e.parent {
+        fields.push(("parent".to_string(), Json::U64(parent)));
+    }
+    if !e.args.is_empty() {
+        fields.push(("args".to_string(), args_obj(&e.args)));
+    }
+    Json::Obj(fields)
+}
+
+/// The metric lines of [`jsonl`] (also usable on their own when only the
+/// final aggregates matter).
+pub fn metrics_jsonl(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        out.push_str(
+            &Json::obj([
+                ("type", Json::str("counter")),
+                ("name", Json::str(name.clone())),
+                ("value", Json::U64(*value)),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str(
+            &Json::obj([
+                ("type", Json::str("gauge")),
+                ("name", Json::str(name.clone())),
+                ("value", Json::F64(*value)),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+    }
+    for (name, h) in &snapshot.histograms {
+        out.push_str(
+            &Json::obj([
+                ("type", Json::str("histogram")),
+                ("name", Json::str(name.clone())),
+                ("count", Json::U64(h.count)),
+                ("min", Json::U64(h.min)),
+                ("max", Json::U64(h.max)),
+                ("mean", Json::U64(h.mean)),
+                ("p50", Json::U64(h.p50)),
+                ("p90", Json::U64(h.p90)),
+                ("p99", Json::U64(h.p99)),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the full event stream plus the final metrics as JSONL (one
+/// JSON object per line).
+pub fn jsonl(collector: &Collector) -> String {
+    let mut out = String::new();
+    for e in collector.events() {
+        out.push_str(&event_line(&e).to_compact());
+        out.push('\n');
+    }
+    out.push_str(&metrics_jsonl(&collector.metrics()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+    use std::sync::Arc;
+
+    fn sample_collector() -> Arc<Collector> {
+        let collector = Arc::new(Collector::new());
+        let tel = Telemetry::attached(Arc::clone(&collector));
+        let job = tel.span_with("job:demo", vec![("queue_wait_us", 12u64.into())]);
+        let pass = tel.span("schedule");
+        tel.mark("cache.miss", &[]);
+        tel.record_duration("pass.schedule_ns", pass.finish());
+        tel.mark("cache.hit", &[("bytes", 640u64.into())]);
+        drop(job);
+        tel.gauge("cache.resident_bytes", 640.0);
+        collector
+    }
+
+    #[test]
+    fn chrome_trace_has_matched_begin_end_pairs() {
+        let collector = sample_collector();
+        let trace = chrome_trace(&collector);
+        assert!(trace.starts_with('{'));
+        assert!(trace.contains("\"traceEvents\""));
+        assert_eq!(trace.matches("\"ph\": \"B\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\": \"E\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\": \"i\"").count(), 2);
+        assert!(trace.contains("\"name\": \"job:demo\""));
+        assert!(trace.contains("\"queue_wait_us\": 12"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_independent_objects() {
+        let collector = sample_collector();
+        let stream = jsonl(&collector);
+        let lines: Vec<&str> = stream.lines().collect();
+        // 2 begins + 2 ends + 2 instants + counters/gauge/histogram lines.
+        assert!(lines.len() >= 9, "got {} lines", lines.len());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(stream.contains("\"type\": \"span_begin\""));
+        assert!(stream.contains("\"type\": \"histogram\""));
+        assert!(stream.contains("\"type\": \"gauge\""));
+        let hit_events = lines
+            .iter()
+            .filter(|l| l.contains("\"type\": \"instant\"") && l.contains("\"cache.hit\""))
+            .count();
+        let counter_line = lines
+            .iter()
+            .find(|l| l.contains("\"type\": \"counter\"") && l.contains("\"cache.hit\""))
+            .unwrap();
+        assert!(counter_line.contains(&format!("\"value\": {hit_events}")));
+    }
+}

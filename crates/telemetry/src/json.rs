@@ -1,0 +1,236 @@
+//! A minimal JSON writer — the single place in the workspace that knows
+//! how to escape strings and format values.
+//!
+//! Both telemetry exporters ([`crate::export`]) and the `phc` batch report
+//! build [`Json`] trees and render them with [`Json::to_compact`] (one
+//! line, for JSONL streams) or [`Json::to_pretty`] (indented, for report
+//! files). There is deliberately no parser and no derive machinery: the
+//! workspace only ever *emits* JSON, and it emits it offline.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON value tree. Object fields keep insertion order, so reports render
+/// stably across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (`NaN`/`±∞` render as `null` — JSON has no spelling for them).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A float rounded to `digits` decimal places (report-friendly
+    /// `wall_ms`-style numbers without 17-digit float noise).
+    pub fn f64_rounded(v: f64, digits: u32) -> Json {
+        let scale = 10f64.powi(digits as i32);
+        Json::F64((v * scale).round() / scale)
+    }
+
+    /// An object from ordered `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    fn write_scalar(out: &mut String, v: &Json) -> bool {
+        match v {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(f) => {
+                // Rust's `Display` for finite floats is always a valid JSON
+                // number (no exponent, round-trip shortest form).
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(_) | Json::Obj(_) => return false,
+        }
+        true
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        if Self::write_scalar(out, self) {
+            return;
+        }
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            _ => unreachable!("scalars already written"),
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        if Self::write_scalar(out, self) {
+            return;
+        }
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write_pretty(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{pad}\"{}\": ", escape(k));
+                    v.write_pretty(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+            _ => unreachable!("scalars already written"),
+        }
+    }
+
+    /// Renders on one line (`{"k": v, ...}`) — the JSONL form.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Renders with two-space indentation — the report-file form.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_every_special_class() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\n\r\ty"), "x\\n\\r\\ty");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("é✓"), "é✓");
+    }
+
+    #[test]
+    fn compact_rendering_is_stable_and_valid() {
+        let v = Json::obj([
+            ("n", Json::U64(3)),
+            ("neg", Json::I64(-7)),
+            ("f", Json::F64(1.5)),
+            ("nan", Json::F64(f64::NAN)),
+            ("s", Json::str("a\"b")),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("o", Json::obj([("k", Json::str("v"))])),
+        ]);
+        assert_eq!(
+            v.to_compact(),
+            "{\"n\": 3, \"neg\": -7, \"f\": 1.5, \"nan\": null, \"s\": \"a\\\"b\", \
+             \"a\": [true, null], \"o\": {\"k\": \"v\"}}"
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents_and_terminates() {
+        let v = Json::obj([
+            (
+                "jobs",
+                Json::Arr(vec![Json::obj([("ok", Json::Bool(true))])]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.to_pretty();
+        assert!(s.starts_with("{\n  \"jobs\": [\n    {\n      \"ok\": true\n"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn rounded_floats_render_short() {
+        assert_eq!(Json::f64_rounded(0.123456, 3).to_compact(), "0.123");
+        assert_eq!(Json::f64_rounded(2.0, 3).to_compact(), "2");
+    }
+}

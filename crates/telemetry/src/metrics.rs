@@ -1,0 +1,263 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! histograms with percentile summaries.
+//!
+//! Values are unit-agnostic `u64`s; by convention names carry their unit
+//! as a suffix (`pass.schedule_ns`, `cache.entry_bytes`). Histograms
+//! bucket by power of two, so percentiles are exact to within a factor of
+//! two and the whole histogram is a fixed 65-slot array — recording is a
+//! couple of arithmetic ops plus one lock, never an allocation.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds values whose bit length is `i` (bucket 0 holds the
+/// value 0, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds 4–7, …).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold.
+fn bucket_high(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, exact to within the 2×
+    /// bucket resolution (clamped to the observed min/max so p0/p100 are
+    /// exact). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The summary exported into reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: if self.count == 0 {
+                0
+            } else {
+                (self.sum / u128::from(self.count)) as u64
+            },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A histogram reduced to the numbers a report prints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (exact).
+    pub min: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Arithmetic mean (exact, integer-truncated).
+    pub mean: u64,
+    /// Median (within 2× bucket resolution).
+    pub p50: u64,
+    /// 90th percentile (within 2× bucket resolution).
+    pub p90: u64,
+    /// 99th percentile (within 2× bucket resolution).
+    pub p99: u64,
+}
+
+/// The mutable registry inside a [`crate::Collector`].
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    pub(crate) fn add(&self, name: &str, delta: u64) {
+        let mut counters = crate::relock(&self.counters);
+        match counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub(crate) fn set_gauge(&self, name: &str, value: f64) {
+        crate::relock(&self.gauges).insert(name.to_string(), value);
+    }
+
+    pub(crate) fn record(&self, name: &str, value: u64) {
+        let mut histograms = crate::relock(&self.histograms);
+        match histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: crate::relock(&self.counters).clone(),
+            gauges: crate::relock(&self.gauges).clone(),
+            histograms: crate::relock(&self.histograms)
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a collector, ordered by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts (`cache.hit`, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values (`cache.resident_bytes`, …).
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency/size distributions (`pass.schedule_ns`, …).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Convenience: a counter's value, 0 when never bumped.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience: a histogram's summary, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::default();
+        h.record(1000);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max, s.mean), (1000, 1000, 1000));
+        // Percentiles clamp to the observed range, so one sample is exact.
+        assert_eq!((s.p50, s.p90, s.p99), (1000, 1000, 1000));
+    }
+
+    #[test]
+    fn quantiles_respect_bucket_resolution() {
+        let mut h = Histogram::default();
+        // 90 fast samples (~1µs) and 10 slow ones (~1ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        // p50/p90 land in the fast bucket, p99 in the slow one; log
+        // buckets guarantee 2×-accurate answers.
+        assert!(s.p50 >= 1_000 && s.p50 < 2_048, "p50 = {}", s.p50);
+        assert!(s.p90 >= 1_000 && s.p90 < 2_048, "p90 = {}", s.p90);
+        assert!(s.p99 >= 524_288 && s.p99 <= 1_048_575, "p99 = {}", s.p99);
+        assert_eq!(s.max, 1_000_000);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn registry_snapshot_is_ordered_and_complete() {
+        let r = Registry::default();
+        r.add("b.count", 2);
+        r.add("a.count", 1);
+        r.add("b.count", 3);
+        r.set_gauge("g", 1.5);
+        r.record("h_ns", 100);
+        r.record("h_ns", 200);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("b.count"), 5);
+        assert_eq!(snap.counter("a.count"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauges["g"], 1.5);
+        assert_eq!(snap.histogram("h_ns").unwrap().count, 2);
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a.count", "b.count"]);
+    }
+}

@@ -8,6 +8,8 @@
 //!   FT/SC block-wise synthesis),
 //! * [`ph_engine`] — the compilation engine (pass manager, compilation
 //!   cache, multi-threaded batch driver),
+//! * [`ph_telemetry`] — spans, metrics, and JSONL/Chrome-trace export for
+//!   the whole compile path,
 //! * [`pauli`] — Pauli algebra substrate,
 //! * [`qcircuit`] — circuit IR, peephole optimizer, QASM,
 //! * [`qdevice`] — coupling maps, layouts, noise models,
@@ -36,6 +38,7 @@ pub use baselines;
 pub use pauli;
 pub use paulihedral;
 pub use ph_engine;
+pub use ph_telemetry;
 pub use qcircuit;
 pub use qdevice;
 pub use qsim;

@@ -151,6 +151,83 @@ fn cache_distinguishes_pipeline_and_target_configuration() {
 }
 
 #[test]
+fn with_threads_zero_clamps_to_one_worker() {
+    let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(0);
+    assert_eq!(engine.threads(), 1);
+    // And the clamped pool still compiles.
+    let results = engine.compile_all(vec![CompileJob::named(
+        "job",
+        suite::generate("Ising-1D").ir,
+    )]);
+    assert!(results[0].outcome.is_ok());
+}
+
+#[test]
+fn worker_count_never_exceeds_the_job_count() {
+    let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(8);
+    assert_eq!(engine.threads(), 8);
+    assert_eq!(
+        engine.worker_count(3),
+        3,
+        "threads > jobs spawns jobs.len()"
+    );
+    assert_eq!(engine.worker_count(8), 8);
+    assert_eq!(engine.worker_count(100), 8, "jobs > threads keeps the pool");
+    assert_eq!(engine.worker_count(0), 0, "empty batch spawns nothing");
+
+    // 8 threads, 2 jobs: both jobs still complete (and in order).
+    let ir = suite::generate("Ising-1D").ir;
+    let results = engine.compile_all(vec![
+        CompileJob::named("a", ir.clone()),
+        CompileJob::named("b", ir),
+    ]);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].name, "a");
+    assert_eq!(results[1].name, "b");
+    assert!(results.iter().all(|r| r.outcome.is_ok()));
+}
+
+#[test]
+fn queue_wait_is_measured_and_consistent_with_batch_wall_time() {
+    let ir = suite::generate("Heisen-1D").ir;
+    let jobs: Vec<CompileJob> = (0..6)
+        .map(|i| CompileJob::named(format!("job-{i}"), ir.clone()))
+        .collect();
+    // One worker serializes the jobs, so later jobs must have queued at
+    // least as long as all earlier jobs took to run.
+    let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(1);
+    let t0 = std::time::Instant::now();
+    let results = engine.compile_all(jobs);
+    let batch_elapsed = t0.elapsed();
+
+    let mut prev_wait = std::time::Duration::ZERO;
+    for r in &results {
+        assert!(r.outcome.is_ok());
+        // A single worker picks jobs up in order: queue waits are
+        // monotonically non-decreasing, and every job finished within the
+        // batch wall (wait measured from batch start + in-worker wall).
+        assert!(
+            r.queue_wait >= prev_wait,
+            "{}: queue_wait {:?} < previous {:?}",
+            r.name,
+            r.queue_wait,
+            prev_wait
+        );
+        assert!(
+            r.queue_wait + r.wall <= batch_elapsed,
+            "{}: wait {:?} + wall {:?} exceeds batch elapsed {:?}",
+            r.name,
+            r.queue_wait,
+            r.wall,
+            batch_elapsed
+        );
+        prev_wait = r.queue_wait;
+    }
+    // The last job's wait dominates: it queued behind the other five.
+    assert!(results[5].queue_wait >= results[0].wall);
+}
+
+#[test]
 fn batch_reports_per_job_errors_without_failing_the_batch() {
     let good = suite::generate("Ising-1D").ir;
     let empty = paulihedral::ir::PauliIR::new(4);
