@@ -113,6 +113,10 @@ pub enum CompileError {
     /// The SC device coupling map is disconnected, so qubits cannot be
     /// routed together.
     DeviceDisconnected,
+    /// The compilation panicked. Produced by callers that isolate
+    /// panics (the batch driver, the compile service) so one bad job
+    /// cannot tear down its worker; carries the panic payload text.
+    Panicked(String),
 }
 
 impl fmt::Display for CompileError {
@@ -126,6 +130,7 @@ impl fmt::Display for CompileError {
             CompileError::DeviceDisconnected => {
                 write!(f, "device coupling map is disconnected")
             }
+            CompileError::Panicked(msg) => write!(f, "compilation panicked: {msg}"),
         }
     }
 }

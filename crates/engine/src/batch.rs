@@ -140,7 +140,9 @@ impl BatchEngine {
 
     /// Compiles every job, fanning out across the worker pool. Results
     /// come back in job order; per-job failures are values, not batch
-    /// failures.
+    /// failures — including panics, which are caught per job
+    /// ([`CompileError::Panicked`]) so one bad job can neither kill its
+    /// worker thread nor abort the rest of the batch.
     pub fn compile_all(&self, jobs: Vec<CompileJob>) -> Vec<BatchResult> {
         if jobs.is_empty() {
             return Vec::new();
@@ -175,7 +177,7 @@ impl BatchEngine {
                     );
                     let outcome =
                         self.engine
-                            .compile_with(&job.ir, job.target.as_ref(), job.scheduler);
+                            .compile_caught(&job.ir, job.target.as_ref(), job.scheduler);
                     let wall = job_span.finish();
                     telemetry.record_duration("batch.job_wall_ns", wall);
                     telemetry.record_duration("batch.queue_wait_ns", queue_wait);

@@ -25,6 +25,26 @@
 //! recompiling. `--cache-entries`/`--cache-bytes` bound the in-memory tier
 //! (LRU eviction; see the `cache` object of the JSON report for counters).
 //!
+//! Service mode (a TCP compile server speaking newline-delimited JSON,
+//! and a client that streams reports back as they finish):
+//!
+//! ```text
+//! phc serve [--listen 127.0.0.1:7878] [--backend …] [--scheduler …]
+//!           [--threads N] [--queue N] [--deadline-ms N]
+//!           [--cache-dir DIR] [--cache-entries N] [--cache-bytes N]
+//!           [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]
+//! phc submit ADDR INPUT1.pauli … [--backend …] [--scheduler …]
+//!            [--deadline-ms N] [--artifact] [--stats] [--shutdown]
+//! ```
+//!
+//! `phc serve` prints one `{"type": "listening", "addr": …}` line to
+//! stdout (machine-parseable; with `--listen …:0` this is how scripts
+//! learn the ephemeral port) and blocks until a client sends `shutdown`.
+//! Two `phc` processes pointed at one `--cache-dir` share compiled
+//! artifacts through the persistent cache tier, so a `phc submit` against
+//! a warm server reports `cache_hit: true` without recompiling. See the
+//! README "Compile service" section for the wire protocol.
+//!
 //! `--trace-out` writes a Chrome `trace_event` file — open it at
 //! `chrome://tracing` or <https://ui.perfetto.dev> to see per-worker job
 //! spans with the pass spans nested inside them and cache events on the
@@ -45,17 +65,18 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use paulihedral::parse::parse_program;
 use paulihedral::Scheduler;
 use ph_engine::json::Json;
+use ph_engine::proto::{self, CompileRequest, Request};
 use ph_engine::{
-    BatchEngine, BatchResult, CacheConfig, Collector, CompileJob, Engine, MetricsSnapshot,
-    Pipeline, Target, Telemetry,
+    BatchEngine, BatchResult, CacheConfig, Client, Collector, CompileJob, Engine, MetricsSnapshot,
+    Pipeline, ServeConfig, Server, Target, Telemetry,
 };
 use ph_telemetry::export;
 use qcircuit::qasm::{to_qasm, QasmOptions};
-use qdevice::devices;
 
 /// The single flag table both the parser and the positional filter derive
 /// from: every `--flag` the CLI understands, and whether it consumes the
@@ -72,7 +93,13 @@ const FLAGS: &[(&str, bool)] = &[
     ("--cache-bytes", true),
     ("--trace-out", true),
     ("--metrics-out", true),
+    ("--listen", true),
+    ("--queue", true),
+    ("--deadline-ms", true),
     ("--report", false),
+    ("--artifact", false),
+    ("--stats", false),
+    ("--shutdown", false),
 ];
 
 fn flag_takes_value(flag: &str) -> Option<bool> {
@@ -115,81 +142,10 @@ fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-fn parse_target(spec: &str, n_program: usize) -> Result<Target, String> {
-    match spec {
-        "ft" => Ok(Target::FaultTolerant),
-        "manhattan" => Ok(Target::superconducting(devices::manhattan_65())),
-        "melbourne" => Ok(Target::superconducting(devices::melbourne_16())),
-        other => {
-            if let Some(n) = other.strip_prefix("linear:") {
-                let n: usize = n.parse().map_err(|_| format!("bad linear size `{n}`"))?;
-                return Ok(Target::superconducting(devices::linear(n.max(n_program))));
-            }
-            if let Some(dims) = other.strip_prefix("grid:") {
-                let (r, c) = dims
-                    .split_once('x')
-                    .ok_or_else(|| format!("bad grid spec `{dims}`, expected RxC"))?;
-                let r: usize = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
-                let c: usize = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
-                return Ok(Target::superconducting(devices::grid(r, c)));
-            }
-            Err(format!(
-                "unknown backend `{other}` (ft|manhattan|melbourne|linear:N|grid:RxC)"
-            ))
-        }
-    }
-}
-
 fn parse_scheduler(args: &[String]) -> Result<Scheduler, String> {
-    match value_of(args, "--scheduler").as_deref() {
-        None | Some("auto") => Ok(Scheduler::Auto),
-        Some("gco") => Ok(Scheduler::GateCount),
-        Some("do") => Ok(Scheduler::Depth),
-        Some(other) => Err(format!("unknown scheduler `{other}` (auto|gco|do)")),
-    }
-}
-
-fn job_json(r: &BatchResult) -> Json {
-    match &r.outcome {
-        Ok(o) => {
-            let stats = o.compiled.circuit.mapped_stats();
-            let passes: Vec<Json> = o
-                .report
-                .passes
-                .iter()
-                .map(|p| {
-                    Json::obj([
-                        ("name", Json::str(&p.name)),
-                        ("wall_ms", Json::f64_rounded(p.wall.as_secs_f64() * 1e3, 3)),
-                        ("cnot_delta", Json::I64(p.cnot_delta())),
-                        ("single_delta", Json::I64(p.single_delta())),
-                        ("depth_delta", Json::I64(p.depth_delta())),
-                        ("note", Json::str(&p.note)),
-                    ])
-                })
-                .collect();
-            Json::obj([
-                ("name", Json::str(&r.name)),
-                ("ok", Json::Bool(true)),
-                ("cache_hit", Json::Bool(o.report.cache_hit)),
-                ("key", Json::str(format!("{:016x}", o.report.key))),
-                ("cnot", Json::U64(stats.cnot as u64)),
-                ("single", Json::U64(stats.single as u64)),
-                ("total", Json::U64(stats.total as u64)),
-                ("depth", Json::U64(stats.depth as u64)),
-                ("wall_ms", Json::f64_rounded(r.wall.as_secs_f64() * 1e3, 3)),
-                (
-                    "queue_wait_ms",
-                    Json::f64_rounded(r.queue_wait.as_secs_f64() * 1e3, 3),
-                ),
-                ("passes", Json::Arr(passes)),
-            ])
-        }
-        Err(e) => Json::obj([
-            ("name", Json::str(&r.name)),
-            ("ok", Json::Bool(false)),
-            ("error", Json::str(e.to_string())),
-        ]),
+    match value_of(args, "--scheduler") {
+        None => Ok(Scheduler::Auto),
+        Some(spec) => proto::parse_scheduler_spec(&spec),
     }
 }
 
@@ -233,22 +189,13 @@ fn json_report(
     threads: usize,
     snapshot: &MetricsSnapshot,
 ) -> String {
-    let cs = engine.cache_stats();
     let report = Json::obj([
         ("threads", Json::U64(threads as u64)),
-        ("jobs", Json::Arr(results.iter().map(job_json).collect())),
         (
-            "cache",
-            Json::obj([
-                ("hits", Json::U64(cs.hits)),
-                ("misses", Json::U64(cs.misses)),
-                ("disk_hits", Json::U64(cs.disk_hits)),
-                ("coalesced", Json::U64(cs.coalesced)),
-                ("evictions", Json::U64(cs.evictions)),
-                ("entries", Json::U64(cs.entries as u64)),
-                ("resident_bytes", Json::U64(cs.resident_bytes as u64)),
-            ]),
+            "jobs",
+            Json::Arr(results.iter().map(proto::batch_result_json).collect()),
         ),
+        ("cache", proto::cache_json(&engine.cache_stats())),
         ("metrics", metrics_json(snapshot)),
     ]);
     let mut out = report.to_pretty();
@@ -309,7 +256,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         max_qubits = max_qubits.max(ir.num_qubits());
         jobs.push(CompileJob::named(f.clone(), ir));
     }
-    let target = parse_target(
+    let target = Target::parse_spec(
         value_of(args, "--backend").as_deref().unwrap_or("ft"),
         max_qubits,
     )?;
@@ -389,6 +336,160 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `phc serve`: bind the compile service and block until a client drains
+/// it with a `shutdown` request.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    if !positionals(args)?.is_empty() {
+        return Err(
+            "usage: phc serve [--listen ADDR] [--backend B] [--scheduler S] [--threads N] \
+             [--queue N] [--deadline-ms N] [--cache-dir DIR] [--cache-entries N] \
+             [--cache-bytes N] [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]"
+                .into(),
+        );
+    }
+    let scheduler = parse_scheduler(args)?;
+    // The server's default target; per-request `backend` specs override it.
+    let target = Target::parse_spec(value_of(args, "--backend").as_deref().unwrap_or("ft"), 0)?;
+
+    let collector = Arc::new(Collector::new());
+    let mut engine = BatchEngine::new(Pipeline::standard(scheduler), target)
+        .with_cache_config(parse_cache_config(args)?)
+        .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
+    if let Some(t) = value_of(args, "--threads") {
+        let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
+        engine = engine.with_threads(t);
+    }
+
+    let mut config = ServeConfig::default();
+    if let Some(q) = value_of(args, "--queue") {
+        config.queue_depth = q.parse().map_err(|_| format!("bad --queue `{q}`"))?;
+    }
+    if let Some(ms) = value_of(args, "--deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --deadline-ms `{ms}`"))?;
+        config.default_deadline = Some(Duration::from_millis(ms));
+    }
+
+    let listen = value_of(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let server =
+        Server::bind(&*listen, engine, config).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    // Machine-parseable: scripts read this line to learn the ephemeral port.
+    println!(
+        "{}",
+        Json::obj([
+            ("type", Json::str("listening")),
+            ("addr", Json::str(server.local_addr().to_string())),
+        ])
+        .to_compact()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let stats = server.run();
+    eprintln!(
+        "drained: {} connections, {} requests ({} completed, {} rejected, {} deadline misses)",
+        stats.connections, stats.requests, stats.completed, stats.rejected, stats.deadline_misses
+    );
+    write_exports(args, &collector)?;
+    Ok(())
+}
+
+/// `phc submit`: send compile requests to a running server and stream the
+/// response lines to stdout as they arrive.
+fn run_submit(args: &[String]) -> Result<(), String> {
+    let usage = "usage: phc submit ADDR INPUT1.pauli … [--backend B] [--scheduler S] \
+                 [--deadline-ms N] [--artifact] [--stats] [--shutdown]";
+    let pos = positionals(args)?;
+    let Some((addr, files)) = pos.split_first() else {
+        return Err(usage.into());
+    };
+    let want_stats = flag_present(args, "--stats");
+    let want_shutdown = flag_present(args, "--shutdown");
+    if files.is_empty() && !want_stats && !want_shutdown {
+        return Err(usage.into());
+    }
+    let scheduler = match value_of(args, "--scheduler") {
+        None => None,
+        Some(spec) => Some(proto::parse_scheduler_spec(&spec)?),
+    };
+    let backend = value_of(args, "--backend");
+    let deadline_ms = match value_of(args, "--deadline-ms") {
+        None => None,
+        Some(ms) => Some(
+            ms.parse()
+                .map_err(|_| format!("bad --deadline-ms `{ms}`"))?,
+        ),
+    };
+
+    let mut client =
+        Client::connect(&**addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let io_err = |e: std::io::Error| format!("{addr}: {e}");
+
+    // Submit everything up front; reports stream back in completion order.
+    let mut pending: std::collections::HashSet<u64> = (1..=files.len() as u64).collect();
+    for (i, f) in files.iter().enumerate() {
+        let ir = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        client
+            .send(&Request::Compile(CompileRequest {
+                id: i as u64 + 1,
+                name: Some(f.clone()),
+                ir,
+                backend: backend.clone(),
+                scheduler,
+                deadline_ms,
+                artifact: flag_present(args, "--artifact"),
+            }))
+            .map_err(io_err)?;
+    }
+
+    let mut failures = 0;
+    while !pending.is_empty() {
+        let Some(line) = client.recv_line().map_err(io_err)? else {
+            break;
+        };
+        println!("{line}");
+        let v = Json::parse(&line).map_err(|e| format!("bad response line: {e}"))?;
+        if v.get("type").and_then(Json::as_str) == Some("report") {
+            if let Some(id) = v.get("id").and_then(Json::as_u64) {
+                pending.remove(&id);
+            }
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                failures += 1;
+            }
+        }
+    }
+
+    if want_stats {
+        client.send(&Request::Stats).map_err(io_err)?;
+        if let Some(line) = client.recv_line().map_err(io_err)? {
+            println!("{line}");
+        }
+    }
+    if want_shutdown {
+        client.send(&Request::Shutdown).map_err(io_err)?;
+        if let Some(line) = client.recv_line().map_err(io_err)? {
+            println!("{line}");
+        }
+    }
+    client.finish().map_err(io_err)?;
+    // Drain the goodbye (and anything else the server had buffered).
+    while let Some(line) = client.recv_line().map_err(io_err)? {
+        println!("{line}");
+    }
+
+    if !pending.is_empty() {
+        return Err(format!(
+            "server closed with {} report(s) outstanding",
+            pending.len()
+        ));
+    }
+    if failures > 0 {
+        return Err(format!("{failures} job(s) failed"));
+    }
+    Ok(())
+}
+
 fn run_single(args: &[String]) -> Result<(), String> {
     let input = positionals(args)?.into_iter().next().ok_or(
         "usage: phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC] \
@@ -406,7 +507,7 @@ fn run_single(args: &[String]) -> Result<(), String> {
     );
 
     let scheduler = parse_scheduler(args)?;
-    let target = parse_target(
+    let target = Target::parse_spec(
         value_of(args, "--backend").as_deref().unwrap_or("ft"),
         ir.num_qubits(),
     )?;
@@ -449,6 +550,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("batch") => run_batch(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("submit") => run_submit(&args[1..]),
         _ => run_single(&args),
     };
     match result {

@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -187,6 +187,10 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Entries evicted from the memory tier to stay within budget.
     pub evictions: u64,
+    /// Orphaned `*.tmp` files swept from the disk tier when the cache
+    /// opened (left behind by writers that crashed between temp-file
+    /// creation and the atomic rename).
+    pub tmp_swept: u64,
     /// Entries currently resident in memory.
     pub entries: usize,
     /// Approximate bytes currently resident in memory.
@@ -210,7 +214,7 @@ pub enum CacheOutcome {
 /// never wrote a half-updated state (the critical sections below only
 /// swap complete values), so later jobs recover the guard instead of
 /// propagating the panic forever.
-fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -387,6 +391,8 @@ pub struct CompileCache {
     disk_hits: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    tmp_swept: AtomicU64,
+    tmp_sweep_reported: AtomicBool,
     telemetry: Telemetry,
 }
 
@@ -396,12 +402,38 @@ impl CompileCache {
         CompileCache::default()
     }
 
-    /// An empty cache with the given bounds and disk tier.
+    /// An empty cache with the given bounds and disk tier. Opening a disk
+    /// tier sweeps orphaned `*.tmp` files (a writer that crashed between
+    /// temp-file creation and the atomic rename would otherwise leak them
+    /// forever); [`CacheStats::tmp_swept`] counts the removals.
     pub fn with_config(config: CacheConfig) -> CompileCache {
-        CompileCache {
+        let cache = CompileCache {
             config,
             ..CompileCache::default()
+        };
+        cache.sweep_tmp();
+        cache
+    }
+
+    /// Removes every `*.tmp` file in the disk dir. Only called at open: a
+    /// tmp file observable then belongs to a dead writer (or to a live one
+    /// whose best-effort write-back harmlessly degrades to a dropped
+    /// cache fill when its rename fails).
+    fn sweep_tmp(&self) {
+        let Some(dir) = self.config.disk_dir.as_deref() else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut swept = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "tmp") && std::fs::remove_file(&path).is_ok() {
+                swept += 1;
+            }
         }
+        self.tmp_swept.store(swept, Ordering::Relaxed);
     }
 
     /// The cache's configuration.
@@ -417,6 +449,16 @@ impl CompileCache {
     /// `cache.lock_wait_ns` histogram.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+        // The open-time tmp sweep ran before any handle was attached;
+        // report it now, exactly once even if re-attached.
+        let swept = self.tmp_swept.load(Ordering::Relaxed);
+        if swept > 0
+            && self.telemetry.is_enabled()
+            && !self.tmp_sweep_reported.swap(true, Ordering::Relaxed)
+        {
+            self.telemetry
+                .mark("cache.tmp_sweep", &[("files", swept.into())]);
+        }
     }
 
     /// Locks the memory tier, recording how long the lock was contended.
@@ -651,6 +693,7 @@ impl CompileCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
             entries,
             resident_bytes,
         }
@@ -852,6 +895,42 @@ mod tests {
         ));
         let stats = cache.stats();
         assert_eq!((stats.misses, stats.coalesced), (1, 1));
+    }
+
+    #[test]
+    fn opening_a_disk_tier_sweeps_orphan_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("ph_cache_tmp_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Seed a valid entry plus two crashed-writer orphans.
+        {
+            let cache = CompileCache::with_config(CacheConfig {
+                disk_dir: Some(dir.clone()),
+                ..CacheConfig::default()
+            });
+            cache.insert(42, entry_with(1));
+            assert_eq!(cache.stats().tmp_swept, 0, "clean dir has nothing to sweep");
+        }
+        std::fs::write(dir.join("00000000000000ff.12345.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("00000000000000aa.99.tmp"), b"partial").unwrap();
+
+        let cache = CompileCache::with_config(CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        });
+        assert_eq!(cache.stats().tmp_swept, 2);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "orphans must be removed");
+        // The completed entry survives the sweep and still decodes.
+        assert!(cache.lookup(42).is_some());
+        assert_eq!(cache.stats().disk_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

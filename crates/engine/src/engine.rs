@@ -164,6 +164,37 @@ impl Engine {
         })
     }
 
+    /// Like [`Engine::compile_with`], but panic-isolating: a panicking
+    /// pass (or a bug anywhere under the compile path) is caught and
+    /// returned as [`CompileError::Panicked`] instead of unwinding into
+    /// the caller. This is what the batch driver and the compile service
+    /// use so one bad job cannot tear down a worker thread — and the
+    /// single-flight cache's failure-handover path already treats a
+    /// leader's unwind as a retryable failure, so coalesced waiters are
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::compile_with`] returns, plus
+    /// [`CompileError::Panicked`].
+    pub fn compile_caught(
+        &self,
+        ir: &PauliIR,
+        target: Option<&Target>,
+        scheduler: Option<Scheduler>,
+    ) -> Result<EngineOutput, CompileError> {
+        // `&Engine` + `&PauliIR` are only conditionally unwind-safe, but
+        // the shared state they reach (the cache) is designed for it: its
+        // critical sections swap complete values and its locks recover
+        // from poisoning, so observing post-panic state is sound.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.compile_with(ir, target, scheduler)
+        }))
+        // `as_ref` reaches the payload itself; `&payload` would coerce the
+        // `Box` into the `dyn Any` and every downcast below would miss.
+        .unwrap_or_else(|payload| Err(CompileError::Panicked(panic_message(payload.as_ref()))))
+    }
+
     /// Runs the pipeline over a fresh unit (the cache-miss path).
     fn execute(
         &self,
@@ -210,5 +241,17 @@ impl Engine {
         h.write_str(&self.pipeline.signature(ctx));
         ctx.target.fingerprint(&mut h);
         h.finish()
+    }
+}
+
+/// Extracts the human-readable message from a panic payload (`&str` and
+/// `String` payloads cover `panic!`, `assert!`, `unwrap`, and friends).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }

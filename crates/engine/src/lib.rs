@@ -20,7 +20,12 @@
 //! 3. **Batch driver** ([`batch`]): [`BatchEngine::compile_all`] spreads a
 //!    `Vec` of jobs across a `std::thread` worker pool (no external
 //!    runtime), preserving job order and sharing one cache.
-//! 4. **Telemetry** ([`ph_telemetry`], attached via
+//! 4. **Compile service** ([`serve`], [`proto`]): a TCP front-end over the
+//!    batch engine speaking newline-delimited JSON — bounded work queue
+//!    with backpressure, per-request deadlines, panic isolation, graceful
+//!    drain, and reports streamed back as each job finishes. `phc serve` /
+//!    `phc submit` let multiple processes share one `--cache-dir`.
+//! 5. **Telemetry** ([`ph_telemetry`], attached via
 //!    [`Engine::with_telemetry`] / [`BatchEngine::with_telemetry`]): spans
 //!    for every batch, job, request, and pass; cache events mirroring the
 //!    [`CacheStats`] counters; and latency histograms — exportable as a
@@ -51,13 +56,16 @@ pub mod engine;
 pub mod pass;
 pub mod persist;
 pub mod pipeline;
+pub mod proto;
 pub mod report;
+pub mod serve;
 pub mod unit;
 
-/// The workspace's one JSON writer (escaping + value rendering), shared by
-/// the `phc` batch report and the telemetry exporters. Re-exported from
-/// [`ph_telemetry::json`] so the engine's consumers need no extra
-/// dependency edge.
+/// The workspace's one JSON writer and parser (escaping, value rendering,
+/// and recursive-descent reading for the wire protocol), shared by the
+/// `phc` batch report, the compile service, and the telemetry exporters.
+/// Re-exported from [`ph_telemetry::json`] so the engine's consumers need
+/// no extra dependency edge.
 pub mod json {
     pub use ph_telemetry::json::*;
 }
@@ -68,5 +76,7 @@ pub use engine::{Engine, EngineOutput};
 pub use pass::{FusionPass, Pass, PassContext, PeepholePass, SchedulePass, SynthesisPass, Target};
 pub use ph_telemetry::{Collector, MetricsSnapshot, Telemetry};
 pub use pipeline::{Pipeline, PipelineBuilder};
+pub use proto::{CompileRequest, Request};
 pub use report::{CompileReport, PassRecord};
+pub use serve::{Client, ServeConfig, ServeStats, Server, ServerHandle};
 pub use unit::CompileUnit;

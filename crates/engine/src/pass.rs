@@ -43,6 +43,41 @@ impl Target {
         }
     }
 
+    /// Parses a backend spec as used by the `phc` CLI and the compile
+    /// service wire protocol: `ft`, `manhattan`, `melbourne`, `linear:N`,
+    /// or `grid:RxC`. A `linear:` device is widened to at least
+    /// `n_program` qubits so a program never fails for want of a wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown or malformed spec.
+    pub fn parse_spec(spec: &str, n_program: usize) -> Result<Target, String> {
+        match spec {
+            "ft" => Ok(Target::FaultTolerant),
+            "manhattan" => Ok(Target::superconducting(qdevice::devices::manhattan_65())),
+            "melbourne" => Ok(Target::superconducting(qdevice::devices::melbourne_16())),
+            other => {
+                if let Some(n) = other.strip_prefix("linear:") {
+                    let n: usize = n.parse().map_err(|_| format!("bad linear size `{n}`"))?;
+                    return Ok(Target::superconducting(qdevice::devices::linear(
+                        n.max(n_program),
+                    )));
+                }
+                if let Some(dims) = other.strip_prefix("grid:") {
+                    let (r, c) = dims
+                        .split_once('x')
+                        .ok_or_else(|| format!("bad grid spec `{dims}`, expected RxC"))?;
+                    let r: usize = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
+                    let c: usize = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
+                    return Ok(Target::superconducting(qdevice::devices::grid(r, c)));
+                }
+                Err(format!(
+                    "unknown backend `{other}` (ft|manhattan|melbourne|linear:N|grid:RxC)"
+                ))
+            }
+        }
+    }
+
     /// A borrowed [`Backend`] view for the core crate's entry points.
     pub fn as_backend(&self) -> Backend<'_> {
         match self {

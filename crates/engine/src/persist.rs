@@ -269,6 +269,13 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// A `u64` field that must fit in `usize`. On 64-bit targets this never
+    /// fails; on 32-bit targets a corrupt or adversarial value errors
+    /// instead of silently truncating to the low 32 bits.
+    fn usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::Invalid("value exceeds usize"))
+    }
+
     /// A length/count field. Bounded by what the remaining bytes could
     /// possibly encode (`min_elem_bytes` per element), so a corrupt length
     /// cannot trigger a huge allocation.
@@ -289,8 +296,10 @@ impl<'a> Reader<'a> {
 
     fn gate(&mut self, n: usize) -> Result<Gate, DecodeError> {
         let tag = self.u8()?;
+        // Compare in the u64 domain: `v as usize` first would wrap on
+        // 32-bit targets and could pass the range check after truncation.
         let q = |v: u64| -> Result<usize, DecodeError> {
-            if (v as usize) < n {
+            if v < n as u64 {
                 Ok(v as usize)
             } else {
                 Err(DecodeError::Invalid("gate qubit out of range"))
@@ -312,7 +321,7 @@ impl<'a> Reader<'a> {
     }
 
     fn pauli(&mut self) -> Result<PauliString, DecodeError> {
-        let n = self.u64()? as usize;
+        let n = self.usize()?;
         let words = self.len(8)?;
         let mut x = Vec::with_capacity(words);
         for _ in 0..words {
@@ -333,7 +342,7 @@ impl<'a> Reader<'a> {
                 let len = self.len(8)?;
                 let mut v = Vec::with_capacity(len);
                 for _ in 0..len {
-                    v.push(self.u64()? as usize);
+                    v.push(self.usize()?);
                 }
                 Ok(Some(v))
             }
@@ -343,11 +352,11 @@ impl<'a> Reader<'a> {
 
     fn stats(&mut self) -> Result<CircuitStats, DecodeError> {
         Ok(CircuitStats {
-            cnot: self.u64()? as usize,
-            single: self.u64()? as usize,
-            swap: self.u64()? as usize,
-            total: self.u64()? as usize,
-            depth: self.u64()? as usize,
+            cnot: self.usize()?,
+            single: self.usize()?,
+            swap: self.usize()?,
+            total: self.usize()?,
+            depth: self.usize()?,
         })
     }
 }
@@ -378,7 +387,7 @@ pub fn decode_entry(bytes: &[u8]) -> Result<CacheEntry, DecodeError> {
     }
     r.buf = &bytes[..payload_end];
 
-    let n = r.u64()? as usize;
+    let n = r.usize()?;
     let gate_count = r.len(9)?;
     let mut circuit = Circuit::new(n);
     for _ in 0..gate_count {
@@ -532,6 +541,34 @@ mod tests {
                 "flip at byte {i} decoded as valid"
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_length_fields_are_rejected() {
+        // Empty circuit + one emitted pauli puts the pauli's qubit-count
+        // field at a fixed offset: 6 (header) + 8 (circuit n) + 8
+        // (gate count) + 8 (emitted count) = 30.
+        let entry = CacheEntry {
+            compiled: Arc::new(Compiled {
+                circuit: Circuit::new(3),
+                emitted: vec![("XYZ".parse().unwrap(), 0.5)],
+                initial_l2p: None,
+                final_l2p: None,
+            }),
+            report: CompileReport::default(),
+        };
+        let mut bytes = encode_entry(&entry);
+        assert!(decode_entry(&bytes).is_ok());
+        // Claim a u64::MAX-qubit pauli and re-stamp the footer so the
+        // structural check (not the checksum) must reject it. On 32-bit
+        // targets the checked usize conversion fires; on 64-bit the bit
+        // planes no longer match the claimed width. Either way: an error,
+        // never a silently truncated length.
+        bytes[30..38].copy_from_slice(&u64::MAX.to_le_bytes());
+        let end = bytes.len() - 8;
+        let sum = checksum(&bytes[..end]).to_le_bytes();
+        bytes[end..].copy_from_slice(&sum);
+        assert!(matches!(decode_entry(&bytes), Err(DecodeError::Invalid(_))));
     }
 
     #[test]

@@ -1,0 +1,707 @@
+//! `ph_serve`: a TCP compile service over the batch engine.
+//!
+//! One [`Server`] owns a [`crate::BatchEngine`]: a listener thread accepts
+//! connections, one reader thread per connection parses newline-delimited
+//! JSON requests ([`crate::proto`]) into a bounded work queue, and the
+//! engine's worker pool pulls jobs off the queue, compiles them through
+//! the shared single-flight cache, and **streams each report back the
+//! moment it finishes** — no batch barrier, and results from different
+//! connections interleave freely.
+//!
+//! Robustness properties, all tested end-to-end:
+//!
+//! * **Backpressure.** The queue is bounded ([`ServeConfig::queue_depth`]);
+//!   a compile request arriving while it is full is answered immediately
+//!   with an `overloaded` report instead of buffering without limit.
+//! * **Deadlines.** A per-request (or server-default) deadline expires
+//!   jobs still queued when it passes (`deadline_exceeded`), so a slow
+//!   queue cannot serve stale work.
+//! * **Errors as values.** Compiler rejections, panics inside a pass
+//!   ([`crate::Engine::compile_caught`]), malformed requests, and
+//!   oversized lines are all wire responses; none of them kill the
+//!   connection, the worker, or the server.
+//! * **Graceful drain.** A `shutdown` request (or [`ServerHandle::shutdown`])
+//!   stops accepting connections and new work, but every job already
+//!   accepted is compiled and its report delivered before [`Server::run`]
+//!   returns.
+//!
+//! Telemetry: each connection runs under a `conn` span, each job under a
+//! `request` span (with `id`/`conn`/`queue_wait_us` args) that the
+//! engine's `compile` span nests inside, plus `serve.request` /
+//! `serve.reject` / `serve.deadline_miss` instants and
+//! `serve.queue_wait_ns` / `serve.request_ns` histograms.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use paulihedral::ir::PauliIR;
+use paulihedral::parse::parse_program;
+use ph_telemetry::json::Json;
+
+use crate::batch::BatchEngine;
+use crate::cache::{relock, CacheEntry};
+use crate::pass::Target;
+use crate::persist;
+use crate::proto::{self, CompileRequest, Request};
+
+/// Tunables of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum jobs waiting for a worker before new compile requests are
+    /// rejected with `overloaded`.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms` (`None` = no default deadline).
+    pub default_deadline: Option<Duration>,
+    /// Longest accepted request line in bytes; longer lines are answered
+    /// with `request_too_large` and the connection is closed.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_depth: 256,
+            default_deadline: None,
+            max_line_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Service counters, returned by [`Server::run`] and
+/// [`ServerHandle::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Compile requests received (accepted or rejected).
+    pub requests: u64,
+    /// Compile requests answered with a compiled (or compiler-rejected)
+    /// report.
+    pub completed: u64,
+    /// Compile requests rejected by the service itself (bad request,
+    /// overloaded, draining).
+    pub rejected: u64,
+    /// Jobs whose deadline expired before a worker picked them up.
+    pub deadline_misses: u64,
+}
+
+/// One queued compile job, carrying everything the worker needs.
+struct Job {
+    conn: Arc<Conn>,
+    req: CompileRequest,
+    ir: PauliIR,
+    target: Option<Target>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// The writer half of one connection, shared between its reader thread
+/// and every worker holding one of its jobs.
+struct Conn {
+    id: u64,
+    writer: Mutex<TcpStream>,
+    /// Jobs accepted from this connection and not yet answered.
+    pending: Mutex<u64>,
+    idle: Condvar,
+    /// Report lines (success, failure, or reject) written so far.
+    served: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl Conn {
+    /// Writes one response line. IO errors are ignored — a client that
+    /// disappeared simply stops receiving reports; its jobs still complete
+    /// (and still warm the shared cache).
+    fn write_line(&self, json: &Json) {
+        let mut line = json.to_compact();
+        line.push('\n');
+        let mut stream = relock(&self.writer);
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.flush();
+    }
+
+    fn add_pending(&self) {
+        *relock(&self.pending) += 1;
+    }
+
+    /// Counts one report line (success, failure, or reject) toward the
+    /// `bye` tally.
+    fn count_report(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one accepted job as answered, waking `wait_idle` at zero.
+    fn complete(&self) {
+        let mut pending = relock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until every accepted job of this connection is answered.
+    fn wait_idle(&self) {
+        let mut pending = relock(&self.pending);
+        while *pending > 0 {
+            pending = self
+                .idle
+                .wait(pending)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the socket (both halves), once.
+    fn close(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            let _ = relock(&self.writer).shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Why [`Inner::push`] refused a job.
+enum PushError {
+    Full,
+    Draining,
+}
+
+struct Inner {
+    batch: BatchEngine,
+    config: ServeConfig,
+    addr: SocketAddr,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    conns: Mutex<Vec<Arc<Conn>>>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+impl Inner {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn queued(&self) -> usize {
+        relock(&self.queue).len()
+    }
+
+    /// Enqueues a job; on refusal the (boxed, to keep the `Err` small)
+    /// job is handed back so the caller can answer it.
+    fn push(&self, job: Box<Job>) -> Result<(), (Box<Job>, PushError)> {
+        let mut queue = relock(&self.queue);
+        // Checked under the queue lock so a drain begun concurrently can
+        // never strand a job the workers already stopped watching for.
+        if self.draining.load(Ordering::SeqCst) {
+            return Err((job, PushError::Draining));
+        }
+        if queue.len() >= self.config.queue_depth {
+            return Err((job, PushError::Full));
+        }
+        queue.push_back(*job);
+        self.queue_cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once draining and empty — the
+    /// worker's signal to exit with every accepted job answered.
+    fn pop(&self) -> Option<Job> {
+        let mut queue = relock(&self.queue);
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.draining.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self
+                .queue_cv
+                .wait(queue)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Starts the graceful drain: no new connections or jobs, all queued
+    /// work still runs to completion.
+    fn begin_drain(&self) {
+        {
+            let _queue = relock(&self.queue);
+            self.draining.store(true, Ordering::SeqCst);
+        }
+        self.queue_cv.notify_all();
+        // Unblock the accept loop: it re-checks `draining` per connection,
+        // so one throwaway local connect is enough to let it exit.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The `stats` response line.
+    fn stats_json(&self) -> Json {
+        let s = self.stats();
+        Json::obj([
+            ("type", Json::str("stats")),
+            (
+                "serve",
+                Json::obj([
+                    ("connections", Json::U64(s.connections)),
+                    ("requests", Json::U64(s.requests)),
+                    ("completed", Json::U64(s.completed)),
+                    ("rejected", Json::U64(s.rejected)),
+                    ("deadline_misses", Json::U64(s.deadline_misses)),
+                    ("queued", Json::U64(self.queued() as u64)),
+                ]),
+            ),
+            (
+                "cache",
+                proto::cache_json(&self.batch.engine().cache_stats()),
+            ),
+        ])
+    }
+
+    /// Answers one compile request with a service-side rejection.
+    fn reject(&self, conn: &Conn, req: &CompileRequest, kind: &str, message: &str) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.batch.engine().telemetry().mark("serve.reject", &[]);
+        conn.write_line(&proto::reject_json(
+            req.id,
+            &req.display_name(),
+            kind,
+            message,
+        ));
+        conn.count_report();
+    }
+
+    /// Validates and enqueues one compile request; every exit path writes
+    /// exactly one report line (now, or later from a worker).
+    fn submit(&self, conn: &Arc<Conn>, req: CompileRequest) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.batch.engine().telemetry().mark("serve.request", &[]);
+        let ir = match parse_program(&req.ir) {
+            Ok(ir) => ir,
+            Err(e) => {
+                self.reject(conn, &req, "bad_request", &format!("ir parse error: {e}"));
+                return;
+            }
+        };
+        let target = match &req.backend {
+            None => None,
+            Some(spec) => match Target::parse_spec(spec, ir.num_qubits()) {
+                Ok(t) => Some(t),
+                Err(msg) => {
+                    self.reject(conn, &req, "bad_request", &msg);
+                    return;
+                }
+            },
+        };
+        let deadline = req
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.config.default_deadline)
+            .map(|d| Instant::now() + d);
+        conn.add_pending();
+        let job = Job {
+            conn: Arc::clone(conn),
+            req,
+            ir,
+            target,
+            enqueued: Instant::now(),
+            deadline,
+        };
+        if let Err((job, kind)) = self.push(Box::new(job)) {
+            let (tag, message) = match kind {
+                PushError::Full => (
+                    "overloaded",
+                    format!(
+                        "work queue is full ({} jobs); retry later",
+                        self.config.queue_depth
+                    ),
+                ),
+                PushError::Draining => ("draining", "server is shutting down".to_string()),
+            };
+            self.reject(&job.conn, &job.req, tag, &message);
+            // The pending slot claimed above is answered by the reject.
+            job.conn.complete();
+        }
+    }
+
+    /// One worker: pull → deadline check → compile → stream the report.
+    fn worker(&self) {
+        let telemetry = self.batch.engine().telemetry().clone();
+        while let Some(job) = self.pop() {
+            let queue_wait = job.enqueued.elapsed();
+            let span = telemetry.span_with(
+                "request",
+                vec![
+                    ("id", job.req.id.into()),
+                    ("conn", job.conn.id.into()),
+                    (
+                        "queue_wait_us",
+                        u64::try_from(queue_wait.as_micros())
+                            .unwrap_or(u64::MAX)
+                            .into(),
+                    ),
+                ],
+            );
+            let line = if job.deadline.is_some_and(|d| Instant::now() > d) {
+                self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                telemetry.mark("serve.deadline_miss", &[]);
+                proto::reject_json(
+                    job.req.id,
+                    &job.req.display_name(),
+                    "deadline_exceeded",
+                    "deadline expired before a worker picked the job up",
+                )
+            } else {
+                let t0 = Instant::now();
+                let outcome = self.batch.engine().compile_caught(
+                    &job.ir,
+                    job.target.as_ref(),
+                    job.req.scheduler,
+                );
+                let wall = t0.elapsed();
+                let artifact = match (&outcome, job.req.artifact) {
+                    (Ok(o), true) => {
+                        let entry = CacheEntry {
+                            compiled: Arc::clone(&o.compiled),
+                            report: o.report.clone(),
+                        };
+                        Some(proto::hex_encode(&persist::encode_entry(&entry)))
+                    }
+                    _ => None,
+                };
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                proto::report_json(
+                    job.req.id,
+                    proto::job_json(&job.req.display_name(), &outcome, wall, queue_wait),
+                    artifact,
+                )
+            };
+            job.conn.write_line(&line);
+            job.conn.count_report();
+            job.conn.complete();
+            let wall = span.finish();
+            telemetry.record_duration("serve.request_ns", wall);
+            telemetry.record_duration("serve.queue_wait_ns", queue_wait);
+        }
+    }
+
+    /// One connection's reader loop: parse lines, dispatch requests,
+    /// answer control messages inline, and on EOF wait for this
+    /// connection's in-flight jobs before saying goodbye.
+    fn handle_conn(self: &Arc<Inner>, conn: Arc<Conn>, stream: TcpStream) {
+        let telemetry = self.batch.engine().telemetry().clone();
+        let span = telemetry.span_with("conn", vec![("conn", conn.id.into())]);
+        let mut reader = BufReader::new(stream);
+        loop {
+            match read_line(&mut reader, self.config.max_line_bytes) {
+                Line::Eof => break,
+                Line::TooLong => {
+                    conn.write_line(&proto::error_json(
+                        "request_too_large",
+                        &format!("request line exceeds {} bytes", self.config.max_line_bytes),
+                    ));
+                    break;
+                }
+                Line::BadUtf8 => {
+                    conn.write_line(&proto::error_json(
+                        "bad_request",
+                        "request line is not valid UTF-8",
+                    ));
+                    continue;
+                }
+                Line::Text(line) => {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match Request::from_line(line) {
+                        Err(message) => {
+                            conn.write_line(&proto::error_json("bad_request", &message));
+                        }
+                        Ok(Request::Ping) => {
+                            conn.write_line(&Json::obj([("type", Json::str("pong"))]));
+                        }
+                        Ok(Request::Stats) => conn.write_line(&self.stats_json()),
+                        Ok(Request::Shutdown) => {
+                            conn.write_line(&Json::obj([
+                                ("type", Json::str("shutdown_ack")),
+                                ("pending", Json::U64(self.queued() as u64)),
+                            ]));
+                            self.begin_drain();
+                        }
+                        Ok(Request::Compile(req)) => self.submit(&conn, req),
+                    }
+                }
+            }
+        }
+        // Half-close or disconnect: every accepted job still gets its
+        // report (the writer half outlives the reader), then `bye` closes
+        // the stream so a well-behaved client can count its reports.
+        conn.wait_idle();
+        conn.write_line(&Json::obj([
+            ("type", Json::str("bye")),
+            ("served", Json::U64(conn.served.load(Ordering::Relaxed))),
+        ]));
+        conn.close();
+        drop(span);
+    }
+}
+
+/// One request line, bounded.
+enum Line {
+    Text(String),
+    Eof,
+    TooLong,
+    BadUtf8,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. The limit is
+/// enforced *during* the read (`Take`), so an adversarial client cannot
+/// make the server buffer an unbounded line.
+fn read_line(reader: &mut BufReader<TcpStream>, max: usize) -> Line {
+    let mut buf = Vec::new();
+    let mut limited = reader.by_ref().take(max as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => Line::Eof,
+        Ok(_) if buf.len() > max => Line::TooLong,
+        Ok(_) => {
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+            }
+            match String::from_utf8(buf) {
+                Ok(s) => Line::Text(s),
+                Err(_) => Line::BadUtf8,
+            }
+        }
+        Err(_) => Line::Eof,
+    }
+}
+
+/// A running compile service bound to a TCP address.
+///
+/// `bind` then [`Server::run`]; `run` blocks until a drain completes (a
+/// `shutdown` request on any connection, or [`ServerHandle::shutdown`]
+/// from another thread) and returns the final [`ServeStats`].
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the service (use port 0 for an ephemeral port, then
+    /// [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TcpListener::bind`] failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        batch: BatchEngine,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                batch,
+                config,
+                addr,
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                draining: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                deadline_misses: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// A handle for controlling and observing the server from another
+    /// thread while [`Server::run`] blocks.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Serves until drained: accepts connections, streams reports, and on
+    /// shutdown compiles every accepted job before returning the final
+    /// counters.
+    pub fn run(self) -> ServeStats {
+        let inner = self.inner;
+        let workers: Vec<_> = (0..inner.batch.threads())
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || inner.worker())
+            })
+            .collect();
+
+        let mut conn_threads = Vec::new();
+        for stream in self.listener.incoming() {
+            if inner.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let Ok(writer) = stream.try_clone() else {
+                continue;
+            };
+            let id = inner.connections.fetch_add(1, Ordering::Relaxed) + 1;
+            let conn = Arc::new(Conn {
+                id,
+                writer: Mutex::new(writer),
+                pending: Mutex::new(0),
+                idle: Condvar::new(),
+                served: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+            });
+            relock(&inner.conns).push(Arc::clone(&conn));
+            let inner = Arc::clone(&inner);
+            conn_threads.push(thread::spawn(move || inner.handle_conn(conn, stream)));
+        }
+        drop(self.listener);
+
+        // Drain: workers exit once the queue is empty, which means every
+        // accepted job's report has been written.
+        for w in workers {
+            let _ = w.join();
+        }
+        // Readers may still be blocked on clients that never hang up;
+        // closing the sockets gives them EOF and lets them finish their
+        // own goodbye path.
+        for conn in relock(&inner.conns).iter() {
+            conn.close();
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        inner.stats()
+    }
+}
+
+/// Controls a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Begins the graceful drain (idempotent).
+    pub fn shutdown(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats()
+    }
+
+    /// Jobs currently waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.inner.queued()
+    }
+}
+
+/// A minimal blocking client for the wire protocol — what `phc submit`
+/// and the integration tests use.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TcpStream::connect`] failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Any socket write failure.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        self.writer.write_all(req.to_line().as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends one raw line (appends the newline).
+    ///
+    /// # Errors
+    ///
+    /// Any socket write failure.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives one response line (`None` on EOF), trimmed.
+    ///
+    /// # Errors
+    ///
+    /// Any socket read failure.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        Ok(Some(line.trim_end().to_string()))
+    }
+
+    /// Receives and parses one response (`None` on EOF).
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures, or a response line that is not valid JSON
+    /// (mapped to [`std::io::ErrorKind::InvalidData`]).
+    pub fn recv(&mut self) -> std::io::Result<Option<Json>> {
+        match self.recv_line()? {
+            None => Ok(None),
+            Some(line) => Json::parse(&line)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+
+    /// Half-closes the write side: the server sees EOF, finishes this
+    /// connection's in-flight jobs, sends `bye`, and closes. Remaining
+    /// responses stay readable via [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket shutdown failure.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        self.writer.shutdown(Shutdown::Write)
+    }
+}

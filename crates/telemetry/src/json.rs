@@ -1,11 +1,14 @@
-//! A minimal JSON writer — the single place in the workspace that knows
-//! how to escape strings and format values.
+//! A minimal JSON writer and parser — the single place in the workspace
+//! that knows how to escape strings and format values.
 //!
 //! Both telemetry exporters ([`crate::export`]) and the `phc` batch report
 //! build [`Json`] trees and render them with [`Json::to_compact`] (one
 //! line, for JSONL streams) or [`Json::to_pretty`] (indented, for report
-//! files). There is deliberately no parser and no derive machinery: the
-//! workspace only ever *emits* JSON, and it emits it offline.
+//! files). The compile-service wire protocol additionally *reads* JSON
+//! ([`Json::parse`]): a small recursive-descent parser with bounded
+//! nesting depth, suitable for untrusted newline-delimited request lines.
+//! There is deliberately no derive machinery — values are built and
+//! inspected by hand.
 
 use std::fmt::Write as _;
 
@@ -180,6 +183,338 @@ impl Json {
         self.write_pretty(&mut out, 0);
         out
     }
+
+    /// Parses one JSON document (exactly one value; trailing non-whitespace
+    /// is an error). Integers without fraction/exponent parse as
+    /// [`Json::U64`]/[`Json::I64`], everything else numeric as
+    /// [`Json::F64`]. Nesting is bounded, so adversarial input cannot
+    /// overflow the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with the byte offset of the first
+    /// malformed construct.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(n) => Some(n),
+            Json::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(n) => Some(n as f64),
+            Json::I64(n) => Some(n as f64),
+            Json::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Why [`Json::parse`] rejected a document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Deep enough for every report/request shape the workspace emits, small
+/// enough that hostile `[[[[…` input cannot exhaust the parser's stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() != Some(byte) {
+            return Err(self.err(message));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &'static str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            let nibble = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a') + 10,
+                b'A'..=b'F' => u32::from(d - b'A') + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v * 16 + nibble;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self, out: &mut String) -> Result<(), JsonParseError> {
+        let first = self.hex4()?;
+        let code = if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: must be followed by `\uDC00`–`\uDFFF`.
+            if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                return Err(self.err("unpaired surrogate in \\u escape"));
+            }
+            self.pos += 2;
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("unpaired surrogate in \\u escape"));
+            }
+            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+        } else {
+            first
+        };
+        match char::from_u32(code) {
+            Some(c) => {
+                out.push(c);
+                Ok(())
+            }
+            None => Err(self.err("invalid \\u escape")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => self.unicode_escape(&mut out)?,
+                        _ => {
+                            self.pos -= 1;
+                            return Err(self.err("invalid escape"));
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy a maximal run of plain bytes in one push. Input
+                    // is a &str, so multi-byte UTF-8 runs stay valid.
+                    let run_start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c != b'"' && c != b'\\' && c >= 0x20)
+                    {
+                        self.pos += 1;
+                    }
+                    let run = &self.bytes[run_start..self.pos];
+                    out.push_str(std::str::from_utf8(run).map_err(|_| JsonParseError {
+                        offset: start,
+                        message: "invalid UTF-8 in string",
+                    })?);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number run");
+        if !fractional {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::F64(f)),
+            _ => Err(JsonParseError {
+                offset: start,
+                message: "invalid number",
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +567,113 @@ mod tests {
     fn rounded_floats_render_short() {
         assert_eq!(Json::f64_rounded(0.123456, 3).to_compact(), "0.123");
         assert_eq!(Json::f64_rounded(2.0, 3).to_compact(), "2");
+    }
+
+    #[test]
+    fn parser_round_trips_the_writer() {
+        let v = Json::obj([
+            ("n", Json::U64(3)),
+            ("neg", Json::I64(-7)),
+            ("f", Json::F64(1.5)),
+            ("s", Json::str("a\"b\\c\né✓")),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("o", Json::obj([("k", Json::str("v"))])),
+            ("empty_a", Json::Arr(vec![])),
+            ("empty_o", Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_accepts_all_scalar_forms() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::I64(-42));
+        assert_eq!(Json::parse("1.25").unwrap(), Json::F64(1.25));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(Json::parse("-2.5e-1").unwrap(), Json::F64(-0.25));
+        // u64::MAX fits U64; one past it falls back to F64.
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::U64(u64::MAX)
+        );
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::F64(_)
+        ));
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::I64(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn parser_decodes_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            Json::parse(r#""\" \\ \/ \b \f \n \r \t""#).unwrap(),
+            Json::str("\" \\ / \u{8} \u{c} \n \r \t")
+        );
+        assert_eq!(Json::parse(r#""é""#).unwrap(), Json::str("é"));
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::str("😀"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for (text, message) in [
+            ("", "unexpected end of input"),
+            ("tru", "invalid literal"),
+            ("1 2", "trailing characters after the JSON value"),
+            ("{\"k\" 1}", "expected `:` after object key"),
+            ("[1 2]", "expected `,` or `]` in array"),
+            ("\"abc", "unterminated string"),
+            (r#""\x""#, "invalid escape"),
+            (r#""\ud83d""#, "unpaired surrogate in \\u escape"),
+            (r#""\uZZZZ""#, "invalid \\u escape"),
+            ("\"a\nb\"", "control character in string"),
+            ("1.2.3", "invalid number"),
+            ("@", "unexpected character"),
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert_eq!(err.message, message, "input: {text:?}");
+        }
+    }
+
+    #[test]
+    fn parser_reports_the_error_offset() {
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert_eq!(format!("{err}"), "unexpected character at byte 4");
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth() {
+        let deep_ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = "[".repeat(100_000);
+        assert_eq!(
+            Json::parse(&too_deep).unwrap_err().message,
+            "nesting too deep"
+        );
+    }
+
+    #[test]
+    fn accessors_read_back_typed_fields() {
+        let v = Json::parse(r#"{"id": 7, "ok": true, "name": "bh_10", "wall": 1.5, "a": [1]}"#)
+            .unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("bh_10"));
+        assert_eq!(v.get("wall").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("id"), None);
+        assert_eq!(Json::I64(-1).as_u64(), None);
+        assert_eq!(Json::I64(5).as_u64(), Some(5));
     }
 }
