@@ -131,6 +131,7 @@ fn main() {
         let plain = compile(
             &b.ir,
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Depth,
                 backend: Backend::Superconducting {
                     device: &manhattan,
@@ -141,6 +142,7 @@ fn main() {
         let aware = compile(
             &b.ir,
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Depth,
                 backend: Backend::Superconducting {
                     device: &manhattan,

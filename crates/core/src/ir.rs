@@ -92,9 +92,13 @@ impl PauliBlock {
     }
 
     /// The *active length*: the number of active qubits (Alg. 1's block
-    /// size measure).
+    /// size measure). Word-parallel — a popcount over the active mask
+    /// rather than a per-qubit scan.
     pub fn active_len(&self) -> usize {
-        self.active_qubits().len()
+        self.active_mask()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Qubits with a non-identity operator in **every** string (the "core

@@ -23,10 +23,7 @@
 //! use paulihedral::parse::parse_program;
 //!
 //! let ir = parse_program("{(ZZY, 0.5), 1.0}; {(ZZI, 0.3), 1.0};")?;
-//! let out = compile(&ir, &CompileOptions {
-//!     scheduler: Scheduler::GateCount,
-//!     backend: Backend::FaultTolerant,
-//! });
+//! let out = compile(&ir, &CompileOptions::new(Scheduler::GateCount, Backend::FaultTolerant));
 //! assert!(out.circuit.stats().cnot <= 8);
 //! # Ok::<(), paulihedral::parse::ParseError>(())
 //! ```
@@ -93,6 +90,32 @@ pub struct CompileOptions<'a> {
     pub scheduler: Scheduler,
     /// Backend pass.
     pub backend: Backend<'a>,
+    /// Intra-compile worker budget for the synthesis passes: `1` (the
+    /// default) keeps synthesis sequential, `0` uses one worker per
+    /// available CPU, any other value is taken literally. The compiled
+    /// artifact is bit-identical for every setting — parallel shards
+    /// replicate the sequential tie-breaking exactly — so this is purely
+    /// a wall-clock knob and is excluded from compilation cache keys.
+    pub intra_threads: usize,
+}
+
+impl<'a> CompileOptions<'a> {
+    /// Options with the given passes and sequential synthesis
+    /// (`intra_threads = 1`).
+    pub fn new(scheduler: Scheduler, backend: Backend<'a>) -> CompileOptions<'a> {
+        CompileOptions {
+            scheduler,
+            backend,
+            intra_threads: 1,
+        }
+    }
+
+    /// Sets the intra-compile worker budget (builder-style).
+    #[must_use]
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> CompileOptions<'a> {
+        self.intra_threads = intra_threads;
+        self
+    }
 }
 
 /// Why a compilation request was rejected up front.
@@ -221,9 +244,10 @@ pub fn validate(ir: &PauliIR, backend: &Backend<'_>) -> Result<(), CompileError>
 pub fn try_compile(ir: &PauliIR, options: &CompileOptions<'_>) -> Result<Compiled, CompileError> {
     validate(ir, &options.backend)?;
     let layers = run_scheduler(ir, options.scheduler);
+    let intra = synth::par::Intra::new(options.intra_threads);
     Ok(match options.backend {
         Backend::FaultTolerant => {
-            let r = synth::ft::synthesize(ir.num_qubits(), &layers);
+            let r = synth::ft::synthesize_with(ir.num_qubits(), &layers, intra);
             Compiled {
                 circuit: r.circuit,
                 emitted: r.emitted,
@@ -232,7 +256,7 @@ pub fn try_compile(ir: &PauliIR, options: &CompileOptions<'_>) -> Result<Compile
             }
         }
         Backend::Superconducting { device, noise } => {
-            let r = synth::sc::synthesize(ir.num_qubits(), &layers, device, noise);
+            let r = synth::sc::synthesize_with(ir.num_qubits(), &layers, device, noise, intra);
             Compiled {
                 circuit: r.circuit,
                 emitted: r.emitted,
@@ -280,6 +304,7 @@ mod tests {
         let out = compile(
             &small_ir(),
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::GateCount,
                 backend: Backend::FaultTolerant,
             },
@@ -295,6 +320,7 @@ mod tests {
         let out = compile(
             &small_ir(),
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Depth,
                 backend: Backend::Superconducting {
                     device: &device,
@@ -315,6 +341,7 @@ mod tests {
             let out = compile(
                 &small_ir(),
                 &CompileOptions {
+                    intra_threads: 1,
                     scheduler: s,
                     backend: Backend::FaultTolerant,
                 },
@@ -329,6 +356,7 @@ mod tests {
         let err = try_compile(
             &empty,
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Auto,
                 backend: Backend::FaultTolerant,
             },
@@ -343,6 +371,7 @@ mod tests {
         let err = try_compile(
             &small_ir(),
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Depth,
                 backend: Backend::Superconducting {
                     device: &device,
@@ -366,6 +395,7 @@ mod tests {
         let err = try_compile(
             &small_ir(),
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Depth,
                 backend: Backend::Superconducting {
                     device: &device,
@@ -383,6 +413,7 @@ mod tests {
         compile(
             &PauliIR::new(2),
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::GateCount,
                 backend: Backend::FaultTolerant,
             },
@@ -396,6 +427,7 @@ mod tests {
         let auto = compile(
             &small_ir(),
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Auto,
                 backend: Backend::FaultTolerant,
             },
@@ -403,6 +435,7 @@ mod tests {
         let manual = compile(
             &small_ir(),
             &CompileOptions {
+                intra_threads: 1,
                 scheduler: Scheduler::Depth,
                 backend: Backend::FaultTolerant,
             },

@@ -50,13 +50,11 @@ impl Layer {
 }
 
 fn merge_strings<'a>(n: usize, strings: impl Iterator<Item = &'a PauliString>) -> PauliString {
+    // Word-parallel first-written-wins accumulation over the two bit
+    // planes; earlier blocks keep every qubit they claimed.
     let mut sig = PauliString::identity(n);
     for s in strings {
-        for q in s.support() {
-            if !sig.is_active(q) {
-                sig.set(q, s.get(q));
-            }
-        }
+        sig.merge_keep_first(s);
     }
     sig
 }
@@ -95,26 +93,71 @@ pub fn schedule_depth(ir: &PauliIR) -> Vec<Layer> {
     for b in &mut blocks {
         b.sort_terms_lex();
     }
-    // Alg. 1 line 1.
-    blocks.sort_by(|a, b| {
-        b.active_len()
-            .cmp(&a.active_len())
-            .then_with(|| a.representative().lex_cmp(b.representative()))
+    // Alg. 1 line 1, decorate-sort-undecorate: `active_len` is O(n) per
+    // call, so hoist it out of the comparator. Sorting indices with the
+    // same stable comparator yields the identical permutation.
+    let lens: Vec<usize> = blocks.iter().map(PauliBlock::active_len).collect();
+    let mut order: Vec<usize> = (0..blocks.len()).collect();
+    order.sort_by(|&i, &j| {
+        lens[j].cmp(&lens[i]).then_with(|| {
+            blocks[i]
+                .representative()
+                .lex_cmp(blocks[j].representative())
+        })
     });
+    let mut slots: Vec<Option<PauliBlock>> = blocks.into_iter().map(Some).collect();
+    let blocks: Vec<PauliBlock> = order
+        .iter()
+        .map(|&i| slots[i].take().expect("permutation index"))
+        .collect();
+
     // Precomputed per-block metadata keeps the layer loops allocation-free.
     let masks: Vec<Vec<u64>> = blocks.iter().map(PauliBlock::active_mask).collect();
     let depths: Vec<usize> = blocks.iter().map(PauliBlock::depth_estimate).collect();
-    let disjoint = |a: &[u64], b: &[u64]| a.iter().zip(b).all(|(x, y)| x & y == 0);
+
+    // Support index over the active masks. Blocks touch a handful of words
+    // even on 1000+-qubit programs, so each block's mask is flattened to
+    // its occupied `(word, bits)` entries plus a one-word occupancy
+    // summary (bit `g` set iff the block occupies a word in group `g`).
+    // The padding scan then decides disjointness by intersecting the two
+    // summaries — O(1) for the common all-free case — and falls back to
+    // the candidate's occupied words only, never the full ⌈n/64⌉-word
+    // mask re-test of every surviving block.
+    let words = n.div_ceil(64);
+    let group = words.div_ceil(64).max(1); // mask words per summary bit
+    let mut occ_entries: Vec<(u32, u64)> = Vec::new();
+    let mut occ_ranges: Vec<(u32, u32)> = Vec::with_capacity(masks.len());
+    let mut summaries: Vec<u64> = Vec::with_capacity(masks.len());
+    for mask in &masks {
+        let start = occ_entries.len() as u32;
+        let mut summary = 0u64;
+        for (w, &bits) in mask.iter().enumerate() {
+            if bits != 0 {
+                occ_entries.push((w as u32, bits));
+                summary |= 1 << (w / group);
+            }
+        }
+        occ_ranges.push((start, occ_entries.len() as u32));
+        summaries.push(summary);
+    }
+    let occ_of = |i: usize| {
+        let (s, e) = occ_ranges[i];
+        &occ_entries[s as usize..e as usize]
+    };
 
     let mut remaining: Vec<Option<PauliBlock>> = blocks.into_iter().map(Some).collect();
     let mut left = remaining.len();
-    let mut next_alive = 0usize; // index of the first Some slot
+    // Skip pointers: `skip[i]` is a monotone hint for the first alive slot
+    // at or after `i`, path-compressed as slots are consumed, so neither
+    // the anchor argmax nor the padding scan ever re-walks a dead run (the
+    // old code compacted only the leading anchor prefix and re-tested
+    // every interior taken slot on every layer).
+    let mut skip: Vec<u32> = (0..remaining.len() as u32).collect();
+    let mut next_alive = 0usize;
     let mut layers: Vec<Layer> = Vec::new();
 
     while left > 0 {
-        while remaining[next_alive].is_none() {
-            next_alive += 1;
-        }
+        next_alive = first_alive(&mut skip, &remaining, next_alive);
         // Anchor selection: the first sorted block for the first layer;
         // afterwards the block overlapping the previous layer most (Alg. 1
         // line 5), ties resolved by sorted position.
@@ -124,17 +167,18 @@ pub fn schedule_depth(ir: &PauliIR) -> Vec<Layer> {
                 let back = prev.back_signature(n);
                 let mut best = (0usize, usize::MAX);
                 let mut scanned = 0usize;
-                for (i, slot) in remaining.iter().enumerate().skip(next_alive) {
-                    if let Some(b) = slot {
-                        let ov = back.overlap(&b.terms[0].string);
-                        if best.1 == usize::MAX || ov > best.0 {
-                            best = (ov, i);
-                        }
-                        scanned += 1;
-                        if scanned >= ANCHOR_SCAN_CAP {
-                            break;
-                        }
+                let mut i = next_alive;
+                while i < remaining.len() {
+                    let b = remaining[i].as_ref().expect("alive slot");
+                    let ov = back.overlap(&b.terms[0].string);
+                    if best.1 == usize::MAX || ov > best.0 {
+                        best = (ov, i);
                     }
+                    scanned += 1;
+                    if scanned >= ANCHOR_SCAN_CAP {
+                        break;
+                    }
+                    i = first_alive(&mut skip, &remaining, i + 1);
                 }
                 best.1
             }
@@ -143,6 +187,7 @@ pub fn schedule_depth(ir: &PauliIR) -> Vec<Layer> {
         left -= 1;
         let budget = depths[anchor_idx];
         let mut layer_mask = masks[anchor_idx].clone();
+        let mut layer_summary = summaries[anchor_idx];
         let mut layer = Layer {
             blocks: vec![anchor],
         };
@@ -150,23 +195,46 @@ pub fn schedule_depth(ir: &PauliIR) -> Vec<Layer> {
         // block already in the layer, so they execute in parallel. Since
         // pads are pairwise disjoint their depths do not stack — each pad
         // only has to fit under the anchor's depth individually.
-        for i in next_alive..remaining.len() {
-            let Some(_) = remaining[i].as_ref() else {
-                continue;
-            };
-            if depths[i] <= budget && disjoint(&masks[i], &layer_mask) {
-                for (m, w) in layer_mask.iter_mut().zip(&masks[i]) {
-                    *m |= w;
+        let mut i = first_alive(&mut skip, &remaining, next_alive);
+        next_alive = i;
+        while i < remaining.len() {
+            if depths[i] <= budget
+                && (summaries[i] & layer_summary == 0
+                    || occ_of(i)
+                        .iter()
+                        .all(|&(w, bits)| layer_mask[w as usize] & bits == 0))
+            {
+                for &(w, bits) in occ_of(i) {
+                    layer_mask[w as usize] |= bits;
                 }
+                layer_summary |= summaries[i];
                 layer
                     .blocks
                     .push(remaining[i].take().expect("candidate exists"));
                 left -= 1;
             }
+            i = first_alive(&mut skip, &remaining, i + 1);
         }
         layers.push(layer);
     }
     layers
+}
+
+/// The first alive slot at or after `from` (or `remaining.len()`),
+/// path-compressing the skip pointers so consumed runs are crossed in
+/// amortized O(1) on later visits.
+fn first_alive(skip: &mut [u32], remaining: &[Option<PauliBlock>], from: usize) -> usize {
+    let mut i = from;
+    while i < remaining.len() && remaining[i].is_none() {
+        i = (skip[i] as usize).max(i + 1);
+    }
+    let mut j = from;
+    while j < i {
+        let hop = (skip[j] as usize).max(j + 1);
+        skip[j] = i as u32;
+        j = hop;
+    }
+    i
 }
 
 /// Flattens layers back to a block list (program order of execution).
@@ -300,6 +368,157 @@ mod tests {
         assert_eq!(l.front_signature(4).to_string(), "ZZXY");
         assert_eq!(l.back_signature(4).to_string(), "ZZXY");
         assert_eq!(l.num_strings(), 2);
+    }
+
+    #[test]
+    fn signatures_keep_first_written_operator_on_overlap() {
+        // Padding blocks stacked on the same qubits (possible when a layer
+        // is built from blocks whose *boundary* strings overlap even though
+        // their active masks were disjoint at scheduling time — e.g. after
+        // hand-construction or future relaxations): the earlier block's
+        // operator must win on every contested qubit.
+        let l = Layer {
+            blocks: vec![block(&["ZZII"]), block(&["XYII"]), block(&["IIXX"])],
+        };
+        // Qubits 2,3 are claimed by ZZ first; XY must not overwrite them.
+        assert_eq!(l.front_signature(4).to_string(), "ZZXX");
+        assert_eq!(l.back_signature(4).to_string(), "ZZXX");
+
+        // Partial overlap: the second block is identity on qubit 2 but
+        // active on 1; only the free qubit is filled in.
+        let l = Layer {
+            blocks: vec![block(&["IZZI"]), block(&["IXYZ"])],
+        };
+        assert_eq!(l.front_signature(4).to_string(), "IZZZ");
+
+        // Cross-word overlap: same first-written-wins semantics above
+        // qubit 63.
+        let wide_a = format!("ZZ{}", "I".repeat(68)); // Z on qubits 68,69
+        let wide_b = format!("XYX{}", "I".repeat(67)); // X,Y,X on 67,68,69
+        let l = Layer {
+            blocks: vec![block(&[&wide_a]), block(&[&wide_b])],
+        };
+        let sig = l.front_signature(70);
+        assert_eq!(sig.get(69), pauli::Pauli::Z);
+        assert_eq!(sig.get(68), pauli::Pauli::Z);
+        assert_eq!(sig.get(67), pauli::Pauli::X);
+        assert_eq!(sig.weight(), 3);
+    }
+
+    /// The depth scheduler exactly as it shipped before the support-indexed
+    /// rewrite (full `remaining` scan, per-word mask re-tests, `next_alive`
+    /// compacted only on the leading anchor path). The stress test below
+    /// pins the rewrite to this reference bit-for-bit.
+    fn schedule_depth_reference(ir: &PauliIR) -> Vec<Layer> {
+        const ANCHOR_SCAN_CAP: usize = 4096;
+        let n = ir.num_qubits();
+        let mut blocks: Vec<PauliBlock> = ir.blocks().to_vec();
+        for b in &mut blocks {
+            b.sort_terms_lex();
+        }
+        blocks.sort_by(|a, b| {
+            b.active_len()
+                .cmp(&a.active_len())
+                .then_with(|| a.representative().lex_cmp(b.representative()))
+        });
+        let masks: Vec<Vec<u64>> = blocks.iter().map(PauliBlock::active_mask).collect();
+        let depths: Vec<usize> = blocks.iter().map(PauliBlock::depth_estimate).collect();
+        let disjoint = |a: &[u64], b: &[u64]| a.iter().zip(b).all(|(x, y)| x & y == 0);
+        let mut remaining: Vec<Option<PauliBlock>> = blocks.into_iter().map(Some).collect();
+        let mut left = remaining.len();
+        let mut next_alive = 0usize;
+        let mut layers: Vec<Layer> = Vec::new();
+        while left > 0 {
+            while remaining[next_alive].is_none() {
+                next_alive += 1;
+            }
+            let anchor_idx = match layers.last() {
+                None => next_alive,
+                Some(prev) => {
+                    let back = prev.back_signature(n);
+                    let mut best = (0usize, usize::MAX);
+                    let mut scanned = 0usize;
+                    for (i, slot) in remaining.iter().enumerate().skip(next_alive) {
+                        if let Some(b) = slot {
+                            let ov = back.overlap(&b.terms[0].string);
+                            if best.1 == usize::MAX || ov > best.0 {
+                                best = (ov, i);
+                            }
+                            scanned += 1;
+                            if scanned >= ANCHOR_SCAN_CAP {
+                                break;
+                            }
+                        }
+                    }
+                    best.1
+                }
+            };
+            let anchor = remaining[anchor_idx].take().expect("anchor exists");
+            left -= 1;
+            let budget = depths[anchor_idx];
+            let mut layer_mask = masks[anchor_idx].clone();
+            let mut layer = Layer {
+                blocks: vec![anchor],
+            };
+            for i in next_alive..remaining.len() {
+                if remaining[i].is_none() {
+                    continue;
+                }
+                if depths[i] <= budget && disjoint(&masks[i], &layer_mask) {
+                    for (m, w) in layer_mask.iter_mut().zip(&masks[i]) {
+                        *m |= w;
+                    }
+                    layer
+                        .blocks
+                        .push(remaining[i].take().expect("candidate exists"));
+                    left -= 1;
+                }
+            }
+            layers.push(layer);
+        }
+        layers
+    }
+
+    /// Deterministic many-blocks IR: mixed support sizes and multi-string
+    /// blocks scattered over enough qubits to cross word boundaries.
+    fn stress_ir(n: usize, num_blocks: usize, seed: u64) -> PauliIR {
+        let mut state = seed;
+        let mut rng = move |m: usize| {
+            // LCG (Numerical Recipes constants); high bits for quality.
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        let paulis = [pauli::Pauli::X, pauli::Pauli::Y, pauli::Pauli::Z];
+        let mut ir = PauliIR::new(n);
+        for _ in 0..num_blocks {
+            let num_terms = 1 + rng(3);
+            let mut terms = Vec::with_capacity(num_terms);
+            for _ in 0..num_terms {
+                let mut s = PauliString::identity(n);
+                let weight = 1 + rng(6);
+                for _ in 0..weight {
+                    s.set(rng(n), paulis[rng(3)]);
+                }
+                terms.push(PauliTerm::new(s, 1.0));
+            }
+            ir.push_block(PauliBlock::new(terms, Parameter::time(0.1)));
+        }
+        ir
+    }
+
+    #[test]
+    fn depth_rewrite_is_bit_identical_to_reference_on_many_blocks() {
+        // Dense small program, a two-word program, and a sparse wide one
+        // (many fully-disjoint pads per layer, long dead runs to skip).
+        for (n, num_blocks, seed) in [(12, 120, 7), (96, 300, 11), (150, 400, 23)] {
+            let ir = stress_ir(n, num_blocks, seed);
+            let new = schedule_depth(&ir);
+            let reference = schedule_depth_reference(&ir);
+            assert_eq!(new.len(), reference.len(), "layer count n={n}");
+            assert_eq!(new, reference, "layers diverged for n={n}");
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 use pauli::{Pauli, PauliString};
 use qcircuit::{Circuit, Gate};
 
+use crate::synth::par::Intra;
+
 /// The basis-change gate entering the Z basis for `p` on qubit `q`.
 ///
 /// Returns `None` for `I`/`Z` (no change needed).
@@ -168,9 +170,25 @@ pub fn aligned_order(
 /// Synthesizes a sequence of `(string, θ)` gadgets with chain alignment
 /// (no peephole pass — callers run it once at the end).
 pub fn synthesize_sequence(n: usize, seq: &[(PauliString, f64)]) -> Circuit {
-    let mut circuit = Circuit::new(n);
-    let mut prev: Option<(PauliString, Vec<usize>)> = None;
-    for (i, (string, theta)) in seq.iter().enumerate() {
+    synthesize_sequence_with(n, seq, Intra::sequential())
+}
+
+/// [`synthesize_sequence`] with an explicit intra-compile parallelism
+/// context.
+///
+/// Chain orders are inherently sequential — each gadget's CNOT order
+/// starts from the previous string's order — but they are cheap to
+/// compute. Gate *emission* (the allocation-heavy part) is not chained:
+/// once every order is fixed, each contiguous run of gadgets is emitted
+/// into its own sub-circuit on a worker and the sub-circuits are
+/// concatenated in order, which reproduces the sequential gate list
+/// exactly.
+pub fn synthesize_sequence_with(n: usize, seq: &[(PauliString, f64)], intra: Intra<'_>) -> Circuit {
+    // Pass 1 (sequential): resolve the aligned chain order of every
+    // non-identity gadget.
+    let mut planned: Vec<(usize, Vec<usize>)> = Vec::with_capacity(seq.len());
+    let mut prev: Option<(&PauliString, usize)> = None; // string + planned idx
+    for (i, (string, _)) in seq.iter().enumerate() {
         if string.is_identity() {
             continue;
         }
@@ -178,9 +196,30 @@ pub fn synthesize_sequence(n: usize, seq: &[(PauliString, f64)]) -> Circuit {
             .iter()
             .map(|(s, _)| s)
             .find(|s| !s.is_identity());
-        let order = aligned_order(string, prev.as_ref().map(|(s, o)| (s, o.as_slice())), next);
-        emit_gadget(&mut circuit, string, *theta, &order);
-        prev = Some((string.clone(), order));
+        let order = aligned_order(
+            string,
+            prev.map(|(s, pi)| (s, planned[pi].1.as_slice())),
+            next,
+        );
+        planned.push((i, order));
+        prev = Some((string, planned.len() - 1));
+    }
+    // Pass 2 (parallel): emit chunks of gadgets into per-chunk circuits,
+    // then concatenate in chunk order.
+    let chunks = intra.par_chunks("chain.emit", &planned, 256, |_, _, chunk| {
+        let mut c = Circuit::new(n);
+        for (i, order) in chunk {
+            let (string, theta) = &seq[*i];
+            emit_gadget(&mut c, string, *theta, order);
+        }
+        c
+    });
+    if chunks.len() == 1 {
+        return chunks.into_iter().next().expect("one chunk");
+    }
+    let mut circuit = Circuit::new(n);
+    for chunk in &chunks {
+        circuit.append_circuit(chunk);
     }
     circuit
 }

@@ -20,6 +20,7 @@ use qcircuit::Circuit;
 
 use crate::schedule::Layer;
 use crate::synth::chain;
+use crate::synth::par::Intra;
 
 /// Result of FT-backend synthesis.
 #[derive(Clone, Debug)]
@@ -36,18 +37,19 @@ pub struct FtResult {
 /// Greedy pairing of adjacent layers by junction overlap (Alg. 2 lines
 /// 1–5). Returns for each layer index the index it is paired with (self if
 /// unpaired).
-fn pair_layers(n: usize, layers: &[Layer]) -> Vec<usize> {
+fn pair_layers(n: usize, layers: &[Layer], intra: Intra<'_>) -> Vec<usize> {
     let mut partner: Vec<usize> = (0..layers.len()).collect();
     if layers.len() < 2 {
         return partner;
     }
+    // Per-layer signatures are independent → shard them across workers;
+    // the junction overlaps below are cheap popcounts over the results.
+    let sigs: Vec<(PauliString, PauliString)> =
+        intra.par_map("ft.signatures", layers, 32, |_, l| {
+            (l.front_signature(n), l.back_signature(n))
+        });
     let mut overlaps: Vec<(usize, usize)> = (0..layers.len() - 1)
-        .map(|i| {
-            let ov = layers[i]
-                .back_signature(n)
-                .overlap(&layers[i + 1].front_signature(n));
-            (ov, i)
-        })
+        .map(|i| (sigs[i].1.overlap(&sigs[i + 1].0), i))
         .collect();
     overlaps.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut taken = vec![false; layers.len()];
@@ -88,27 +90,39 @@ fn most_overlap_chain(
 
 /// Orders all strings of the scheduled layers for synthesis (Alg. 2).
 pub fn order_strings(n: usize, layers: &[Layer]) -> Vec<(PauliString, f64)> {
-    let partner = pair_layers(n, layers);
+    order_strings_with(n, layers, Intra::sequential())
+}
+
+/// [`order_strings`] with an explicit intra-compile parallelism context.
+/// The result is bit-identical for every worker count: junctions are
+/// independent, and the per-junction argmax keeps its sequential
+/// first-max-wins scan order.
+pub fn order_strings_with(n: usize, layers: &[Layer], intra: Intra<'_>) -> Vec<(PauliString, f64)> {
+    let partner = pair_layers(n, layers, intra);
     // Junction anchors: for a pair (i, i+1), the string pair with maximal
-    // overlap across the junction (Alg. 2 lines 7–9).
+    // overlap across the junction (Alg. 2 lines 7–9). This quadratic
+    // string × string sweep dominates FT synthesis on large lattices, and
+    // each junction is independent of the others.
     let mut start_anchor: Vec<Option<PauliString>> = vec![None; layers.len()];
     let mut end_anchor: Vec<Option<PauliString>> = vec![None; layers.len()];
-    for i in 0..layers.len() {
-        if partner[i] == i + 1 {
-            let (a, b) = (&layers[i], &layers[i + 1]);
-            let mut best: Option<(usize, PauliString, PauliString)> = None;
-            for ta in a.blocks.iter().flat_map(|bl| &bl.terms) {
-                for tb in b.blocks.iter().flat_map(|bl| &bl.terms) {
-                    let ov = ta.string.overlap(&tb.string);
-                    if best.as_ref().is_none_or(|(bo, _, _)| ov > *bo) {
-                        best = Some((ov, ta.string.clone(), tb.string.clone()));
-                    }
+    let junctions: Vec<usize> = (0..layers.len()).filter(|&i| partner[i] == i + 1).collect();
+    let anchors = intra.par_map("ft.junctions", &junctions, 8, |_, &i| {
+        let (a, b) = (&layers[i], &layers[i + 1]);
+        let mut best: Option<(usize, PauliString, PauliString)> = None;
+        for ta in a.blocks.iter().flat_map(|bl| &bl.terms) {
+            for tb in b.blocks.iter().flat_map(|bl| &bl.terms) {
+                let ov = ta.string.overlap(&tb.string);
+                if best.as_ref().is_none_or(|(bo, _, _)| ov > *bo) {
+                    best = Some((ov, ta.string.clone(), tb.string.clone()));
                 }
             }
-            if let Some((_, sa, sb)) = best {
-                end_anchor[i] = Some(sa);
-                start_anchor[i + 1] = Some(sb);
-            }
+        }
+        best
+    });
+    for (&i, best) in junctions.iter().zip(anchors) {
+        if let Some((_, sa, sb)) = best {
+            end_anchor[i] = Some(sa);
+            start_anchor[i + 1] = Some(sb);
         }
     }
 
@@ -170,8 +184,14 @@ pub fn order_strings(n: usize, layers: &[Layer]) -> Vec<(PauliString, f64)> {
 /// (and instrument) the peephole as its own pass; the returned
 /// `peephole` report is all zeros.
 pub fn synthesize_unoptimized(n: usize, layers: &[Layer]) -> FtResult {
-    let emitted = order_strings(n, layers);
-    let circuit = chain::synthesize_sequence(n, &emitted);
+    synthesize_unoptimized_with(n, layers, Intra::sequential())
+}
+
+/// [`synthesize_unoptimized`] with an explicit intra-compile parallelism
+/// context; the emitted circuit is bit-identical for every worker count.
+pub fn synthesize_unoptimized_with(n: usize, layers: &[Layer], intra: Intra<'_>) -> FtResult {
+    let emitted = order_strings_with(n, layers, intra);
+    let circuit = chain::synthesize_sequence_with(n, &emitted, intra);
     FtResult {
         circuit,
         emitted,
@@ -181,7 +201,13 @@ pub fn synthesize_unoptimized(n: usize, layers: &[Layer]) -> FtResult {
 
 /// Synthesizes scheduled layers for the FT backend.
 pub fn synthesize(n: usize, layers: &[Layer]) -> FtResult {
-    let mut r = synthesize_unoptimized(n, layers);
+    synthesize_with(n, layers, Intra::sequential())
+}
+
+/// [`synthesize`] with an explicit intra-compile parallelism context (the
+/// final peephole pass is a global sequential sweep either way).
+pub fn synthesize_with(n: usize, layers: &[Layer], intra: Intra<'_>) -> FtResult {
+    let mut r = synthesize_unoptimized_with(n, layers, intra);
     r.peephole = peephole::optimize(&mut r.circuit);
     r
 }
@@ -241,7 +267,7 @@ mod tests {
         let ir = ir_of(vec![vec!["XXXX"], vec!["XXXY"], vec!["ZZZZ"]]);
         // GCO order: XXXX, XXXY, ZZZZ. Junction overlaps: (0,1)=3, (1,2)=0.
         let layers = schedule::schedule_gco(&ir);
-        let partner = pair_layers(4, &layers);
+        let partner = pair_layers(4, &layers, Intra::sequential());
         assert_eq!(partner[0], 1);
         assert_eq!(partner[1], 0);
         assert_eq!(partner[2], 2);

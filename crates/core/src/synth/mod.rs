@@ -5,8 +5,11 @@
 //! * [`ft`] — the fault-tolerant backend pass (Alg. 2): maximize gate
 //!   cancellation, mapping is free,
 //! * [`sc`] — the superconducting backend pass (Alg. 3): tree embedding in
-//!   the coupling map, SWAP-aware synthesis, layout tracking.
+//!   the coupling map, SWAP-aware synthesis, layout tracking,
+//! * [`par`] — intra-compile data parallelism: deterministic sharding
+//!   over scoped `std::thread` workers, used by both backend passes.
 
 pub mod chain;
 pub mod ft;
+pub mod par;
 pub mod sc;

@@ -21,6 +21,7 @@ use qdevice::{CouplingMap, Layout, NoiseModel};
 use crate::ir::PauliBlock;
 use crate::schedule::Layer;
 use crate::synth::chain::{basis_in, basis_out};
+use crate::synth::par::Intra;
 
 /// Result of SC-backend synthesis: a hardware-conformant physical circuit
 /// plus the layout bookkeeping needed to interpret it.
@@ -46,7 +47,12 @@ struct Deferred;
 /// connected subgraph of the device, assigned greedily so strongly
 /// interacting logical qubits (co-active in many strings) sit close
 /// together.
-fn choose_initial_layout(n_logical: usize, layers: &[Layer], device: &CouplingMap) -> Vec<usize> {
+fn choose_initial_layout(
+    n_logical: usize,
+    layers: &[Layer],
+    device: &CouplingMap,
+    intra: Intra<'_>,
+) -> Vec<usize> {
     let subgraph = device.most_connected_subgraph(n_logical);
     // Interaction weights: co-activity counts over all strings.
     let mut weight = vec![vec![0u64; n_logical]; n_logical];
@@ -94,23 +100,51 @@ fn choose_initial_layout(n_logical: usize, layers: &[Layer], device: &CouplingMa
         .unwrap_or(0);
     l2p[seed] = free.remove(seat);
     placed.push(seed);
+    // The two argbest scans below are O(candidates × placed) each and run
+    // once per placement — the cubic hot spot at 100+ logical qubits, and
+    // each candidate's score is independent. The chunked reductions
+    // replicate the sequential tie-breaking exactly: `max_by_key` keeps
+    // the *last* maximum (`>=` in-chunk, later chunks win the merge) and
+    // `min_by_key` keeps the *first* minimum (`<` in-chunk, earlier
+    // chunks win the merge).
+    const GRAIN: usize = 64;
     while placed.len() < n_logical {
         // Next logical: strongest link into the placed set.
-        let next = (0..n_logical)
-            .filter(|&l| l2p[l] == usize::MAX)
-            .max_by_key(|&l| (placed.iter().map(|&p| weight[l][p]).sum::<u64>(), total[l]))
-            .expect("unplaced logical exists");
-        // Seat minimizing weighted distance to its placed partners.
-        let (fi, _) = free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &cand)| {
-                placed
-                    .iter()
-                    .map(|&p| weight[next][p] * u64::from(device.distance(cand, l2p[p])))
-                    .sum::<u64>()
+        let unplaced: Vec<usize> = (0..n_logical).filter(|&l| l2p[l] == usize::MAX).collect();
+        let next = intra
+            .par_chunks("sc.layout.next", &unplaced, GRAIN, |_, _, chunk| {
+                let mut best: Option<(u64, u64, usize)> = None;
+                for &l in chunk {
+                    let w = placed.iter().map(|&p| weight[l][p]).sum::<u64>();
+                    if best.is_none_or(|(bw, bt, _)| (w, total[l]) >= (bw, bt)) {
+                        best = Some((w, total[l], l));
+                    }
+                }
+                best.expect("non-empty chunk")
             })
-            .expect("free seat exists");
+            .into_iter()
+            .reduce(|acc, c| if (c.0, c.1) >= (acc.0, acc.1) { c } else { acc })
+            .expect("unplaced logical exists")
+            .2;
+        // Seat minimizing weighted distance to its placed partners.
+        let fi = intra
+            .par_chunks("sc.layout.seat", &free, GRAIN, |_, offset, chunk| {
+                let mut best: Option<(u64, usize)> = None;
+                for (k, &cand) in chunk.iter().enumerate() {
+                    let c = placed
+                        .iter()
+                        .map(|&p| weight[next][p] * u64::from(device.distance(cand, l2p[p])))
+                        .sum::<u64>();
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, offset + k));
+                    }
+                }
+                best.expect("non-empty chunk")
+            })
+            .into_iter()
+            .reduce(|acc, c| if c.0 < acc.0 { c } else { acc })
+            .expect("free seat exists")
+            .1;
         l2p[next] = free.remove(fi);
         placed.push(next);
     }
@@ -295,6 +329,7 @@ fn process_block(
     emitted: &mut Vec<(PauliString, f64)>,
     prev_string: &mut Option<PauliString>,
     allowed: Option<&[bool]>,
+    intra: Intra<'_>,
 ) -> Result<Vec<usize>, Deferred> {
     let n_phys = device.num_qubits();
     let mut touched = vec![false; n_phys];
@@ -337,14 +372,32 @@ fn process_block(
         .map(|(i, t)| (t.string.clone(), block.theta(i)))
         .filter(|(s, _)| !s.is_identity())
         .collect();
+    // Per-item selection keys include the item index, so the key order is
+    // total and a chunked parallel min equals the sequential
+    // `min_by_key` exactly.
+    const ITEM_GRAIN: usize = 32;
     while !items.is_empty() {
-        let idx = (0..items.len())
-            .min_by_key(|&i| {
-                let cost = routing_cost(&items[i].0, device, layout);
-                let overlap = prev_string.as_ref().map_or(0, |p| items[i].0.overlap(p));
-                (cost, usize::MAX - overlap, i)
-            })
-            .expect("non-empty");
+        let idx = {
+            let lay: &Layout = layout;
+            let prev: &Option<PauliString> = prev_string;
+            intra
+                .par_chunks("sc.select", &items, ITEM_GRAIN, |_, offset, chunk| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(k, (s, _))| {
+                            let cost = routing_cost(s, device, lay);
+                            let overlap = prev.as_ref().map_or(0, |p| s.overlap(p));
+                            (cost, usize::MAX - overlap, offset + k)
+                        })
+                        .min()
+                        .expect("non-empty chunk")
+                })
+                .into_iter()
+                .min()
+                .expect("non-empty")
+                .2
+        };
         if routing_cost(&items[idx].0, device, layout) > 0 {
             // Block-scope greedy SWAP search.
             let total = |layout: &Layout| -> u64 {
@@ -370,19 +423,42 @@ fn process_block(
                     }
                 }
             }
-            let scored = cands
-                .into_iter()
-                .map(|(a, b)| {
-                    let mut l = layout.clone();
-                    l.swap_physical(a, b);
-                    let free = items
-                        .iter()
-                        .filter(|(s, _)| routing_cost(s, device, &l) == 0)
-                        .count();
-                    let t = total(&l);
-                    (free, t, (a, b))
-                })
-                .max_by(|x, y| x.0.cmp(&y.0).then(y.1.cmp(&x.1)));
+            // Scoring a candidate clones the layout and re-routes every
+            // pending string — the expensive part — so candidates shard
+            // across workers. `max_by` keeps the *last* maximum, so the
+            // in-chunk fold uses `!= Less` and later chunks win the merge.
+            let swap_cmp = |x: &(usize, u64, (usize, usize)), y: &(usize, u64, (usize, usize))| {
+                x.0.cmp(&y.0).then(y.1.cmp(&x.1))
+            };
+            let scored = {
+                let lay: &Layout = layout;
+                intra
+                    .par_chunks("sc.swap_score", &cands, 8, |_, _, chunk| {
+                        let mut best: Option<(usize, u64, (usize, usize))> = None;
+                        for &(a, b) in chunk {
+                            let mut l = lay.clone();
+                            l.swap_physical(a, b);
+                            let free = items
+                                .iter()
+                                .filter(|(s, _)| routing_cost(s, device, &l) == 0)
+                                .count();
+                            let cand = (free, total(&l), (a, b));
+                            if best
+                                .as_ref()
+                                .is_none_or(|be| swap_cmp(&cand, be) != std::cmp::Ordering::Less)
+                            {
+                                best = Some(cand);
+                            }
+                        }
+                        best
+                    })
+                    .into_iter()
+                    .flatten()
+                    .fold(None::<(usize, u64, (usize, usize))>, |acc, c| match acc {
+                        Some(a) if swap_cmp(&c, &a) == std::cmp::Ordering::Less => Some(a),
+                        _ => Some(c),
+                    })
+            };
             match scored {
                 Some((free, t, (a, b))) if free > base_free || t < base_total => {
                     circuit.push(Gate::Swap(a, b));
@@ -445,6 +521,27 @@ pub fn synthesize_unoptimized(
     device: &CouplingMap,
     noise: Option<&NoiseModel>,
 ) -> ScResult {
+    synthesize_unoptimized_with(n_logical, layers, device, noise, Intra::sequential())
+}
+
+/// [`synthesize_unoptimized`] with an explicit intra-compile parallelism
+/// context. The block emission order is inherently sequential (the layout
+/// is carried from block to block), but the argbest scans inside — layout
+/// placement, per-string selection, block-scope SWAP scoring — shard
+/// across workers with sequential tie semantics, so the result is
+/// bit-identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if the device is disconnected or has fewer qubits than the
+/// program.
+pub fn synthesize_unoptimized_with(
+    n_logical: usize,
+    layers: &[Layer],
+    device: &CouplingMap,
+    noise: Option<&NoiseModel>,
+    intra: Intra<'_>,
+) -> ScResult {
     assert!(
         device.is_connected(),
         "device coupling map must be connected"
@@ -455,7 +552,7 @@ pub fn synthesize_unoptimized(
         device.num_qubits()
     );
     // Initial layout on the most connected subgraph (line 1).
-    let initial = choose_initial_layout(n_logical, layers, device);
+    let initial = choose_initial_layout(n_logical, layers, device, intra);
     let mut layout = Layout::from_l2p(device.num_qubits(), initial.clone());
     let mut circuit = Circuit::new(device.num_qubits());
     let mut emitted: Vec<(PauliString, f64)> = Vec::new();
@@ -476,6 +573,7 @@ pub fn synthesize_unoptimized(
                     &mut emitted,
                     &mut prev_string,
                     None,
+                    intra,
                 )
                 .unwrap_or_else(|_| unreachable!("unconstrained blocks never defer"));
                 for p in nodes {
@@ -492,6 +590,7 @@ pub fn synthesize_unoptimized(
                     &mut emitted,
                     &mut prev_string,
                     Some(&free),
+                    intra,
                 ) {
                     Ok(nodes) => {
                         for p in nodes {
@@ -532,6 +631,7 @@ pub fn synthesize_unoptimized(
             &mut emitted,
             &mut prev_string,
             None,
+            intra,
         )
         .map_err(|_| unreachable!("unconstrained blocks never defer"));
     }
@@ -557,7 +657,24 @@ pub fn synthesize(
     device: &CouplingMap,
     noise: Option<&NoiseModel>,
 ) -> ScResult {
-    let mut r = synthesize_unoptimized(n_logical, layers, device, noise);
+    synthesize_with(n_logical, layers, device, noise, Intra::sequential())
+}
+
+/// [`synthesize`] with an explicit intra-compile parallelism context (the
+/// final peephole pass is a global sequential sweep either way).
+///
+/// # Panics
+///
+/// Panics if the device is disconnected or has fewer qubits than the
+/// program.
+pub fn synthesize_with(
+    n_logical: usize,
+    layers: &[Layer],
+    device: &CouplingMap,
+    noise: Option<&NoiseModel>,
+    intra: Intra<'_>,
+) -> ScResult {
+    let mut r = synthesize_unoptimized_with(n_logical, layers, device, noise, intra);
     r.peephole = peephole::optimize(&mut r.circuit);
     r
 }

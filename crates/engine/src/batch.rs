@@ -77,6 +77,7 @@ pub struct BatchResult {
 pub struct BatchEngine {
     engine: Engine,
     threads: usize,
+    intra_threads: usize,
 }
 
 impl BatchEngine {
@@ -89,12 +90,23 @@ impl BatchEngine {
         BatchEngine {
             engine: Engine::new(pipeline, target),
             threads,
+            intra_threads: 1,
         }
     }
 
     /// Overrides the worker count (minimum 1).
     pub fn with_threads(mut self, threads: usize) -> BatchEngine {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the intra-compile worker budget each job may use for its
+    /// synthesis pass (`0` = one per CPU, default `1` = sequential).
+    /// At batch time the knob is clamped against the job-level pool so a
+    /// wide batch on a small machine never oversubscribes: each job gets
+    /// at most `max(1, cpus / batch_workers)` synthesis workers.
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> BatchEngine {
+        self.intra_threads = intra_threads;
         self
     }
 
@@ -132,10 +144,30 @@ impl BatchEngine {
         self.threads
     }
 
+    /// The configured per-job intra-compile worker knob (pre-clamp; see
+    /// [`BatchEngine::with_intra_threads`]).
+    pub fn intra_threads(&self) -> usize {
+        self.intra_threads
+    }
+
     /// Workers [`BatchEngine::compile_all`] will actually spawn for a
     /// batch of `jobs` jobs: never more threads than jobs.
     pub fn worker_count(&self, jobs: usize) -> usize {
         self.threads.min(jobs)
+    }
+
+    /// The intra-compile worker budget each job in a batch of `jobs` jobs
+    /// actually gets: the configured knob (`0` resolved to the CPU count)
+    /// clamped to the machine share left over by the job-level pool.
+    pub fn intra_budget(&self, jobs: usize) -> usize {
+        let cpus = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        let requested = match self.intra_threads {
+            0 => cpus,
+            t => t,
+        };
+        requested.min((cpus / self.worker_count(jobs).max(1)).max(1))
     }
 
     /// Compiles every job, fanning out across the worker pool. Results
@@ -148,10 +180,15 @@ impl BatchEngine {
             return Vec::new();
         }
         let workers = self.worker_count(jobs.len());
+        let intra_budget = self.intra_budget(jobs.len());
         let telemetry = self.engine.telemetry();
         let batch_span = telemetry.span_with(
             "batch",
-            vec![("jobs", jobs.len().into()), ("workers", workers.into())],
+            vec![
+                ("jobs", jobs.len().into()),
+                ("workers", workers.into()),
+                ("intra_budget", intra_budget.into()),
+            ],
         );
         let batch_start = Instant::now();
         let next = AtomicUsize::new(0);
@@ -175,9 +212,12 @@ impl BatchEngine {
                                 .into(),
                         )],
                     );
-                    let outcome =
-                        self.engine
-                            .compile_caught(&job.ir, job.target.as_ref(), job.scheduler);
+                    let outcome = self.engine.compile_caught_budgeted(
+                        &job.ir,
+                        job.target.as_ref(),
+                        job.scheduler,
+                        intra_budget,
+                    );
                     let wall = job_span.finish();
                     telemetry.record_duration("batch.job_wall_ns", wall);
                     telemetry.record_duration("batch.queue_wait_ns", queue_wait);

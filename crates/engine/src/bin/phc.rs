@@ -5,9 +5,17 @@
 //!
 //! ```text
 //! phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC]
-//!                 [--scheduler auto|gco|do] [--qasm OUT.qasm] [--report]
+//!                 [--scheduler auto|gco|do] [--intra-threads N]
+//!                 [--qasm OUT.qasm] [--report]
 //!                 [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]
 //! ```
+//!
+//! Any `INPUT` may be a `workload:NAME` pseudo-input instead of a file:
+//! the 31 Table 1 benchmark names (`workload:UCCSD-16`) or the scale
+//! lattices (`workload:Heisen-1000`, `workload:Ising-32x32`) generate
+//! their program in-process. `--intra-threads N` lets one compile's
+//! synthesis pass fan out over N workers (`0` = one per CPU); the output
+//! circuit is bit-identical for every setting.
 //!
 //! Batch mode (compiles many programs across a worker pool and emits a
 //! JSON report with per-pass instrumentation, cache counters, and latency
@@ -15,7 +23,7 @@
 //!
 //! ```text
 //! phc batch INPUT1.pauli INPUT2.pauli … [--backend …] [--scheduler …]
-//!           [--threads N] [--json REPORT.json]
+//!           [--threads N] [--intra-threads N] [--json REPORT.json]
 //!           [--cache-dir DIR] [--cache-entries N] [--cache-bytes N]
 //!           [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]
 //! ```
@@ -87,6 +95,7 @@ const FLAGS: &[(&str, bool)] = &[
     ("--scheduler", true),
     ("--qasm", true),
     ("--threads", true),
+    ("--intra-threads", true),
     ("--json", true),
     ("--cache-dir", true),
     ("--cache-entries", true),
@@ -147,6 +156,37 @@ fn parse_scheduler(args: &[String]) -> Result<Scheduler, String> {
         None => Ok(Scheduler::Auto),
         Some(spec) => proto::parse_scheduler_spec(&spec),
     }
+}
+
+/// `--intra-threads`: workers one compile's synthesis pass may use
+/// (`0` = one per CPU). `None` when the flag is absent (sequential).
+fn parse_intra_threads(args: &[String]) -> Result<Option<usize>, String> {
+    match value_of(args, "--intra-threads") {
+        None => Ok(None),
+        Some(t) => t
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad --intra-threads `{t}`")),
+    }
+}
+
+/// Resolves one positional input: `workload:NAME` generates a named
+/// program (the 31 Table 1 benchmarks plus the `scale` lattices, e.g.
+/// `workload:Heisen-1000`); anything else is read as a `.pauli` file.
+fn load_input(spec: &str) -> Result<paulihedral::ir::PauliIR, String> {
+    if let Some(name) = spec.strip_prefix("workload:") {
+        if let Some(ir) = workloads::scale::named_scale_ir(name) {
+            return Ok(ir);
+        }
+        if let Some(b) = workloads::suite::try_generate(name) {
+            return Ok(b.ir);
+        }
+        return Err(format!(
+            "unknown workload `{name}` (Table 1 names, or Ising-N/Heisen-N/Ising-RxC/Heisen-RxC)"
+        ));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    parse_program(&text).map_err(|e| format!("{spec}: {e}"))
 }
 
 /// The latency histograms of the metrics snapshot, percentiles in
@@ -242,8 +282,9 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err(
             "usage: phc batch INPUT1.pauli INPUT2.pauli … [--backend B] [--scheduler S] \
-             [--threads N] [--json OUT.json] [--cache-dir DIR] [--cache-entries N] \
-             [--cache-bytes N] [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]"
+             [--threads N] [--intra-threads N] [--json OUT.json] [--cache-dir DIR] \
+             [--cache-entries N] [--cache-bytes N] [--trace-out TRACE.json] \
+             [--metrics-out METRICS.jsonl] (INPUT may be workload:NAME)"
                 .into(),
         );
     }
@@ -251,8 +292,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     let mut jobs = Vec::new();
     let mut max_qubits = 0;
     for f in &files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
-        let ir = parse_program(&text).map_err(|e| format!("{f}: {e}"))?;
+        let ir = load_input(f)?;
         max_qubits = max_qubits.max(ir.num_qubits());
         jobs.push(CompileJob::named(f.clone(), ir));
     }
@@ -270,6 +310,9 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     if let Some(t) = value_of(args, "--threads") {
         let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
         engine = engine.with_threads(t);
+    }
+    if let Some(t) = parse_intra_threads(args)? {
+        engine = engine.with_intra_threads(t);
     }
     let threads = engine.threads();
     let results = engine.compile_all(jobs);
@@ -358,6 +401,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     if let Some(t) = value_of(args, "--threads") {
         let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
         engine = engine.with_threads(t);
+    }
+    if let Some(t) = parse_intra_threads(args)? {
+        engine = engine.with_intra_threads(t);
     }
 
     let mut config = ServeConfig::default();
@@ -493,11 +539,11 @@ fn run_submit(args: &[String]) -> Result<(), String> {
 fn run_single(args: &[String]) -> Result<(), String> {
     let input = positionals(args)?.into_iter().next().ok_or(
         "usage: phc INPUT.pauli [--backend ft|manhattan|melbourne|linear:N|grid:RxC] \
-         [--scheduler auto|gco|do] [--qasm OUT.qasm] [--report] [--trace-out TRACE.json] \
-         [--metrics-out METRICS.jsonl]\n       phc batch INPUT… [--threads N] [--json OUT.json]",
+         [--scheduler auto|gco|do] [--intra-threads N] [--qasm OUT.qasm] [--report] \
+         [--trace-out TRACE.json] [--metrics-out METRICS.jsonl] (INPUT may be workload:NAME)\n\
+         \x20      phc batch INPUT… [--threads N] [--json OUT.json]",
     )?;
-    let text = std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
-    let ir = parse_program(&text).map_err(|e| format!("{input}: {e}"))?;
+    let ir = load_input(&input)?;
     eprintln!(
         "parsed {}: {} blocks, {} strings, {} qubits",
         input,
@@ -513,8 +559,11 @@ fn run_single(args: &[String]) -> Result<(), String> {
     )?;
 
     let collector = Arc::new(Collector::new());
-    let engine = Engine::new(Pipeline::standard(scheduler), target)
+    let mut engine = Engine::new(Pipeline::standard(scheduler), target)
         .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
+    if let Some(t) = parse_intra_threads(args)? {
+        engine = engine.with_intra_threads(t);
+    }
     let out = engine.compile(&ir).map_err(|e| e.to_string())?;
     let stats = out.compiled.circuit.mapped_stats();
     println!(

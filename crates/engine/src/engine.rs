@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use paulihedral::ir::PauliIR;
+use paulihedral::synth::par::{Intra, ShardObserver};
 use paulihedral::{validate, CompileError, Compiled, Scheduler};
 use ph_telemetry::Telemetry;
 
@@ -35,6 +36,24 @@ pub struct Engine {
     cache: CompileCache,
     cache_enabled: bool,
     telemetry: Telemetry,
+    intra_threads: usize,
+}
+
+/// Wraps each parallel synthesis shard in a `shard:<stage>` telemetry
+/// span. Shards run on scoped worker threads with fresh span stacks, so
+/// each shard shows up as a per-thread row in the exported trace.
+struct ShardSpans<'t> {
+    telemetry: &'t Telemetry,
+}
+
+impl ShardObserver for ShardSpans<'_> {
+    fn shard(&self, stage: &str, shard: usize, work: &mut dyn FnMut()) {
+        let span = self
+            .telemetry
+            .span_with(format!("shard:{stage}"), vec![("shard", shard.into())]);
+        work();
+        drop(span);
+    }
 }
 
 impl Engine {
@@ -47,7 +66,25 @@ impl Engine {
             cache: CompileCache::new(),
             cache_enabled: true,
             telemetry: Telemetry::disabled(),
+            intra_threads: 1,
         }
+    }
+
+    /// Sets the intra-compile worker budget for the synthesis pass: `1`
+    /// (the default) keeps synthesis sequential, `0` uses one worker per
+    /// available CPU, any other value is taken literally. Purely a
+    /// wall-clock knob — the artifact is bit-identical for every setting,
+    /// so it is excluded from cache keys and cached artifacts stay
+    /// shareable across settings. Builder-style.
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> Engine {
+        self.intra_threads = intra_threads;
+        self
+    }
+
+    /// The configured intra-compile worker budget (see
+    /// [`Engine::with_intra_threads`]).
+    pub fn intra_threads(&self) -> usize {
+        self.intra_threads
     }
 
     /// Replaces the cache with an empty one using `config` (entry/byte
@@ -125,14 +162,35 @@ impl Engine {
         target: Option<&Target>,
         scheduler: Option<Scheduler>,
     ) -> Result<EngineOutput, CompileError> {
+        self.compile_budgeted(ir, target, scheduler, self.intra_threads)
+    }
+
+    /// [`Engine::compile_with`] with an explicit intra-compile worker
+    /// budget overriding the engine's configured knob — the batch driver
+    /// uses this to divide the machine between concurrent jobs.
+    pub(crate) fn compile_budgeted(
+        &self,
+        ir: &PauliIR,
+        target: Option<&Target>,
+        scheduler: Option<Scheduler>,
+        intra_threads: usize,
+    ) -> Result<EngineOutput, CompileError> {
         // The request span both traces the compile and is its timer: its
         // wall time becomes `CompileReport::total`.
         let span = self.telemetry.span("compile");
         let target = target.unwrap_or(&self.target);
         validate(ir, &target.as_backend())?;
+        let observer = ShardSpans {
+            telemetry: &self.telemetry,
+        };
+        let mut intra = Intra::new(intra_threads);
+        if self.telemetry.is_enabled() {
+            intra = intra.with_observer(&observer);
+        }
         let ctx = PassContext {
             target,
             scheduler_override: scheduler,
+            intra,
         };
 
         if !self.cache_enabled {
@@ -183,12 +241,24 @@ impl Engine {
         target: Option<&Target>,
         scheduler: Option<Scheduler>,
     ) -> Result<EngineOutput, CompileError> {
+        self.compile_caught_budgeted(ir, target, scheduler, self.intra_threads)
+    }
+
+    /// [`Engine::compile_caught`] with an explicit intra-compile worker
+    /// budget (see [`Engine::compile_budgeted`]).
+    pub(crate) fn compile_caught_budgeted(
+        &self,
+        ir: &PauliIR,
+        target: Option<&Target>,
+        scheduler: Option<Scheduler>,
+        intra_threads: usize,
+    ) -> Result<EngineOutput, CompileError> {
         // `&Engine` + `&PauliIR` are only conditionally unwind-safe, but
         // the shared state they reach (the cache) is designed for it: its
         // critical sections swap complete values and its locks recover
         // from poisoning, so observing post-panic state is sound.
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.compile_with(ir, target, scheduler)
+            self.compile_budgeted(ir, target, scheduler, intra_threads)
         }))
         // `as_ref` reaches the payload itself; `&payload` would coerce the
         // `Box` into the `dyn Any` and every downcast below would miss.

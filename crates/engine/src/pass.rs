@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use paulihedral::synth::par::Intra;
 use paulihedral::{synth, Backend, CompileError, Scheduler};
 use qcircuit::{fusion, peephole};
 use qdevice::{CouplingMap, NoiseModel};
@@ -129,6 +130,10 @@ pub struct PassContext<'a> {
     pub target: &'a Target,
     /// Overrides the scheduling pass's configured scheduler, if set.
     pub scheduler_override: Option<Scheduler>,
+    /// Intra-compile parallelism context for the synthesis pass. Purely a
+    /// wall-clock knob — the artifact is bit-identical for every worker
+    /// budget — so it MUST NOT feed any pass [`Pass::signature`].
+    pub intra: Intra<'a>,
 }
 
 /// One step of a [`crate::Pipeline`].
@@ -225,12 +230,18 @@ impl Pass for SynthesisPass {
         let n = unit.ir.num_qubits();
         match ctx.target {
             Target::FaultTolerant => {
-                let r = synth::ft::synthesize_unoptimized(n, layers);
+                let r = synth::ft::synthesize_unoptimized_with(n, layers, ctx.intra);
                 unit.circuit = Some(r.circuit);
                 unit.emitted = r.emitted;
             }
             Target::Superconducting { device, noise } => {
-                let r = synth::sc::synthesize_unoptimized(n, layers, device, noise.as_deref());
+                let r = synth::sc::synthesize_unoptimized_with(
+                    n,
+                    layers,
+                    device,
+                    noise.as_deref(),
+                    ctx.intra,
+                );
                 unit.circuit = Some(r.circuit);
                 unit.emitted = r.emitted;
                 unit.initial_l2p = Some(r.initial_l2p);

@@ -262,10 +262,17 @@ impl PauliString {
     /// Panics if the strings have different qubit counts.
     pub fn lex_cmp(&self, other: &PauliString) -> Ordering {
         self.assert_same_n(other);
-        for q in (0..self.n).rev() {
-            let ord = self.get(q).cmp(&other.get(q));
-            if ord != Ordering::Equal {
-                return ord;
+        // Word-parallel: in the X < Y < Z < I order a qubit's rank is the
+        // 2-bit value (bit1 = !x, bit0 = !(x ^ z)), so two qubits compare
+        // equal iff their (x, z) bit pairs are equal. The deciding qubit is
+        // therefore the top set bit of the per-word diff mask, scanned from
+        // the high word down — one AND/XOR pass instead of n `get` calls.
+        for w in (0..self.x.len()).rev() {
+            let diff = (self.x[w] ^ other.x[w]) | (self.z[w] ^ other.z[w]);
+            if diff != 0 {
+                let b = 63 - diff.leading_zeros();
+                let rank = |x: u64, z: u64| ((!x >> b & 1) << 1) | (!(x ^ z) >> b & 1);
+                return rank(self.x[w], self.z[w]).cmp(&rank(other.x[w], other.z[w]));
             }
         }
         Ordering::Equal
@@ -307,6 +314,28 @@ impl PauliString {
         for w in 0..self.x.len() {
             self.x[w] |= other.x[w];
             self.z[w] |= other.z[w];
+        }
+    }
+
+    /// Merges `other` into `self` on qubits where `self` is identity,
+    /// keeping `self`'s operator everywhere it is already non-identity
+    /// (first-written wins).
+    ///
+    /// This is the overlap-tolerant cousin of [`Self::merge_disjoint`]:
+    /// layer signatures accumulate boundary strings in block order, and a
+    /// later block must never overwrite a qubit an earlier block claimed.
+    /// Word-parallel over the two bit planes — the free qubits of `self`
+    /// are `!(x | z)` per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different qubit counts.
+    pub fn merge_keep_first(&mut self, other: &PauliString) {
+        self.assert_same_n(other);
+        for w in 0..self.x.len() {
+            let free = !(self.x[w] | self.z[w]);
+            self.x[w] |= other.x[w] & free;
+            self.z[w] |= other.z[w] & free;
         }
     }
 
@@ -496,6 +525,75 @@ mod tests {
         let mut a = ps("XXII");
         a.merge_disjoint(&ps("IIZY"));
         assert_eq!(a, ps("XXZY"));
+    }
+
+    #[test]
+    fn merge_keep_first_preserves_earlier_operators() {
+        // Full overlap: nothing changes.
+        let mut a = ps("ZZII");
+        a.merge_keep_first(&ps("XYII"));
+        assert_eq!(a, ps("ZZII"));
+        // Partial overlap: only the free qubits are filled in.
+        let mut a = ps("IZZI");
+        a.merge_keep_first(&ps("XXYZ"));
+        assert_eq!(a, ps("XZZZ"));
+        // Y = (x=1, z=1) must not leak a plane bit onto a qubit where the
+        // earlier string holds a single-plane operator.
+        let mut a = ps("XZ");
+        a.merge_keep_first(&ps("YY"));
+        assert_eq!(a, ps("XZ"));
+    }
+
+    #[test]
+    fn merge_keep_first_across_word_boundary() {
+        let mut a = PauliString::identity(130);
+        a.set(64, Pauli::Z);
+        let mut b = PauliString::identity(130);
+        b.set(64, Pauli::X);
+        b.set(63, Pauli::Y);
+        b.set(129, Pauli::Z);
+        a.merge_keep_first(&b);
+        assert_eq!(a.get(64), Pauli::Z);
+        assert_eq!(a.get(63), Pauli::Y);
+        assert_eq!(a.get(129), Pauli::Z);
+        assert_eq!(a.weight(), 3);
+    }
+
+    #[test]
+    fn lex_cmp_matches_per_qubit_scan() {
+        // The word-parallel comparison must agree with the definitional
+        // per-qubit scan, including across word boundaries and on long
+        // shared prefixes.
+        let per_qubit = |a: &PauliString, b: &PauliString| {
+            for q in (0..a.num_qubits()).rev() {
+                let ord = a.get(q).cmp(&b.get(q));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        };
+        let base = "XZIY".repeat(33); // 132 qubits
+        let mut cases: Vec<(PauliString, PauliString)> = Vec::new();
+        for q in [0, 1, 63, 64, 65, 127, 128, 131] {
+            for p in [Pauli::X, Pauli::Y, Pauli::Z, Pauli::I] {
+                let a = ps(&base);
+                let mut b = ps(&base);
+                b.set(q, p);
+                cases.push((a, b));
+            }
+        }
+        cases.push((ps(&base), ps(&base)));
+        // Differences on two qubits in different words: the higher decides.
+        let mut lo = ps(&base);
+        lo.set(2, Pauli::Z);
+        let mut hi = ps(&base);
+        hi.set(130, Pauli::X);
+        cases.push((lo, hi));
+        for (a, b) in &cases {
+            assert_eq!(a.lex_cmp(b), per_qubit(a, b), "{a} vs {b}");
+            assert_eq!(b.lex_cmp(a), per_qubit(b, a));
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   substitution 1),
 //! * [`random`] — the paper's random-Hamiltonian recipe (5n² strings),
 //! * [`graphs`] — seeded random graph generators,
-//! * [`suite`] — the named benchmark table tying it all together.
+//! * [`suite`] — the named benchmark table tying it all together,
+//! * [`scale`] — beyond-Table-1 lattices at 100–1000+ qubits for the
+//!   intra-compile parallelism benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@ pub mod jw;
 pub mod molecule;
 pub mod qaoa;
 pub mod random;
+pub mod scale;
 pub mod spin;
 pub mod suite;
 pub mod uccsd;

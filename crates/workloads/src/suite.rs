@@ -68,6 +68,13 @@ pub fn all_names() -> Vec<&'static str> {
     SC_NAMES.iter().chain(FT_NAMES.iter()).copied().collect()
 }
 
+/// Generates a named benchmark if the name is in Table 1 (the
+/// non-panicking front door for name lookups from user input, e.g. the
+/// `phc` `workload:` pseudo-inputs).
+pub fn try_generate(name: &str) -> Option<Benchmark> {
+    all_names().contains(&name).then(|| generate(name))
+}
+
 /// Generates a named benchmark (deterministic: fixed seeds per name).
 ///
 /// # Panics

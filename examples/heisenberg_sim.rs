@@ -18,6 +18,7 @@ fn main() {
     let out = compile(
         &small,
         &CompileOptions {
+            intra_threads: 1,
             scheduler: Scheduler::Depth,
             backend: Backend::FaultTolerant,
         },
@@ -36,6 +37,7 @@ fn main() {
         let out = compile(
             &chain,
             &CompileOptions {
+                intra_threads: 1,
                 scheduler,
                 backend: Backend::FaultTolerant,
             },

@@ -24,10 +24,7 @@
 //! use paulihedral::{compile, Backend, CompileOptions, Scheduler};
 //!
 //! let ir = parse_program("{(ZZY, 0.5), 1.0}; {(ZZI, 0.3), 1.0};")?;
-//! let out = compile(&ir, &CompileOptions {
-//!     scheduler: Scheduler::GateCount,
-//!     backend: Backend::FaultTolerant,
-//! });
+//! let out = compile(&ir, &CompileOptions::new(Scheduler::GateCount, Backend::FaultTolerant));
 //! println!("{}", qcircuit::qasm::to_qasm(&out.circuit, Default::default()));
 //! # Ok::<(), paulihedral::parse::ParseError>(())
 //! ```

@@ -1,0 +1,157 @@
+//! Bit-identity acceptance tests for intra-compile parallelism: the
+//! `intra_threads` knob may only change wall time, never the artifact.
+//! Every parallel reduction in the synthesis passes replicates the
+//! sequential tie-breaking exactly, so `compile` with any worker budget
+//! must produce byte-for-byte the same circuit, emission order, and
+//! layouts as the sequential path — across random programs, every Table 1
+//! benchmark, and the 100/1000-qubit scale lattices.
+
+use pauli::{Pauli, PauliString, PauliTerm};
+use paulihedral::ir::{Parameter, PauliBlock, PauliIR};
+use paulihedral::{compile, Backend, CompileOptions, Compiled, Scheduler};
+use proptest::prelude::*;
+use qdevice::devices;
+use workloads::suite::{self, BackendClass};
+use workloads::{scale, spin};
+
+/// Worker budgets swept against the sequential reference.
+const BUDGETS: [usize; 2] = [2, 8];
+
+fn assert_identical(name: &str, seq: &Compiled, par: &Compiled, intra: usize) {
+    assert_eq!(
+        seq.circuit, par.circuit,
+        "{name}: circuit differs at intra_threads={intra}"
+    );
+    assert_eq!(
+        seq.emitted, par.emitted,
+        "{name}: emission order differs at intra_threads={intra}"
+    );
+    assert_eq!(seq.initial_l2p, par.initial_l2p, "{name}: initial layout");
+    assert_eq!(seq.final_l2p, par.final_l2p, "{name}: final layout");
+}
+
+fn check_all_budgets(name: &str, ir: &PauliIR, scheduler: Scheduler, backend: Backend<'_>) {
+    let seq = compile(ir, &CompileOptions::new(scheduler, backend));
+    for intra in BUDGETS {
+        let par = compile(
+            ir,
+            &CompileOptions::new(scheduler, backend).with_intra_threads(intra),
+        );
+        assert_identical(name, &seq, &par, intra);
+    }
+}
+
+/// A deterministic random program: `blocks` blocks of 1–3 terms, each a
+/// weight-1..=6 string over `n` qubits. Seeded LCG so proptest shrinking
+/// and replays stay reproducible.
+fn ir_from_seed(seed: u64, n: usize, blocks: usize) -> PauliIR {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut next = move |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound.max(1)
+    };
+    let mut ir = PauliIR::new(n);
+    for b in 0..blocks {
+        let terms: Vec<PauliTerm> = (0..1 + next(3))
+            .map(|_| {
+                let mut s = PauliString::identity(n);
+                for _ in 0..1 + next(6) {
+                    let p = [Pauli::X, Pauli::Y, Pauli::Z][next(3)];
+                    s.set(next(n), p);
+                }
+                PauliTerm::new(s, 0.25 + next(8) as f64 * 0.1)
+            })
+            .collect();
+        ir.push_block(PauliBlock::new(
+            terms,
+            Parameter::time(0.05 + (b % 7) as f64 * 0.04),
+        ));
+    }
+    ir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_ft_compile_matches_sequential_on_random_irs(
+        seed in 0u64..1 << 32,
+        depth_sched in any::<bool>(),
+    ) {
+        let ir = ir_from_seed(seed, 48, 180);
+        let scheduler = if depth_sched { Scheduler::Depth } else { Scheduler::GateCount };
+        check_all_budgets("random-ft", &ir, scheduler, Backend::FaultTolerant);
+    }
+
+    #[test]
+    fn parallel_sc_compile_matches_sequential_on_random_irs(seed in 0u64..1 << 32) {
+        let ir = ir_from_seed(seed, 24, 60);
+        let device = devices::linear(24);
+        check_all_budgets(
+            "random-sc",
+            &ir,
+            Scheduler::Depth,
+            Backend::Superconducting { device: &device, noise: None },
+        );
+    }
+}
+
+#[test]
+fn parallel_compile_is_bit_identical_on_all_31_benchmarks() {
+    let device = devices::manhattan_65();
+    for name in suite::all_names() {
+        let b = suite::generate(name);
+        match b.class {
+            BackendClass::Superconducting => check_all_budgets(
+                name,
+                &b.ir,
+                Scheduler::Depth,
+                Backend::Superconducting {
+                    device: &device,
+                    noise: None,
+                },
+            ),
+            BackendClass::FaultTolerant => {
+                check_all_budgets(name, &b.ir, Scheduler::Auto, Backend::FaultTolerant);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_compile_is_bit_identical_at_scale() {
+    for name in ["Heisen-100", "Ising-1000"] {
+        let ir = scale::named_scale_ir(name).expect("preset scale name");
+        check_all_budgets(name, &ir, Scheduler::Auto, Backend::FaultTolerant);
+    }
+    // A scale SC row too: a 100-qubit chain routed on a 100-qubit line.
+    let ir = spin::heisenberg_ir(&[100], 1.0, 0.1);
+    let device = devices::linear(100);
+    check_all_budgets(
+        "Heisen-100-sc",
+        &ir,
+        Scheduler::Depth,
+        Backend::Superconducting {
+            device: &device,
+            noise: None,
+        },
+    );
+}
+
+#[test]
+fn intra_zero_resolves_to_machine_and_stays_identical() {
+    let ir = scale::named_scale_ir("Heisen-100").expect("preset scale name");
+    let seq = compile(
+        &ir,
+        &CompileOptions::new(Scheduler::Auto, Backend::FaultTolerant),
+    );
+    let auto = compile(
+        &ir,
+        &CompileOptions::new(Scheduler::Auto, Backend::FaultTolerant).with_intra_threads(0),
+    );
+    assert_identical("Heisen-100", &seq, &auto, 0);
+}

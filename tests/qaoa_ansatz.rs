@@ -63,6 +63,7 @@ fn compiled_ansatz_matches_logical_success_probability() {
     let ph = compile(
         &ir,
         &CompileOptions {
+            intra_threads: 1,
             scheduler: Scheduler::Depth,
             backend: Backend::Superconducting {
                 device: &device,
