@@ -18,6 +18,7 @@ use paulihedral::{CompileError, Scheduler};
 use ph_telemetry::Telemetry;
 
 use crate::engine::{Engine, EngineOutput};
+use crate::fault::Fault;
 use crate::pass::Target;
 use crate::pipeline::Pipeline;
 
@@ -121,6 +122,14 @@ impl BatchEngine {
     /// Disables the shared compilation cache (every job compiles).
     pub fn without_cache(mut self) -> BatchEngine {
         self.engine = self.engine.without_cache();
+        self
+    }
+
+    /// Attaches a fault-injection handle to the underlying engine (see
+    /// [`Engine::with_fault`]): worker jobs consult the worker seam, the
+    /// shared cache's disk tier consults the disk seam.
+    pub fn with_fault(mut self, fault: Fault) -> BatchEngine {
+        self.engine = self.engine.with_fault(fault);
         self
     }
 

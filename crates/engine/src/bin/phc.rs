@@ -38,12 +38,42 @@
 //!
 //! ```text
 //! phc serve [--listen 127.0.0.1:7878] [--backend …] [--scheduler …]
-//!           [--threads N] [--queue N] [--deadline-ms N]
+//!           [--threads N] [--queue N] [--deadline-ms N] [--watchdog-ms N]
 //!           [--cache-dir DIR] [--cache-entries N] [--cache-bytes N]
+//!           [--fault-plan SPEC]
 //!           [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]
 //! phc submit ADDR INPUT1.pauli … [--backend …] [--scheduler …]
-//!            [--deadline-ms N] [--artifact] [--stats] [--shutdown]
+//!            [--deadline-ms N] [--artifact] [--retries N]
+//!            [--connect-timeout-ms N] [--read-timeout-ms N]
+//!            [--retry-seed N] [--stats] [--health] [--shutdown]
 //! ```
+//!
+//! `phc submit` rides the resilient [`ph_engine::client::Client`]:
+//! transport faults (connect failures, dropped or truncated connections,
+//! read timeouts) are absorbed by up to `--retries N` reconnect +
+//! re-submit rounds with jittered exponential backoff, and retryable job
+//! errors (`panicked`, `overloaded`, `watchdog_timeout`) are re-submitted
+//! per job. Its exit code distinguishes what ultimately went wrong:
+//!
+//! | exit | meaning |
+//! |------|---------|
+//! | 0    | every job compiled (or was served from cache) |
+//! | 1    | usage or local error (bad flags, unreadable input) |
+//! | 2    | server answered, but a job failed for a non-transient reason (compiler rejection, `bad_request`) |
+//! | 3    | capacity/deadline: `overloaded`, `draining`, `deadline_exceeded`, or `watchdog_timeout` survived the retry budget |
+//! | 4    | transport: the retry budget ran out without an answer |
+//!
+//! When several apply, the highest code wins (transport trumps capacity
+//! trumps job errors). The final stdout line is a `{"type": "client"}`
+//! object with the retry counters, so scripts can assert on resilience
+//! behavior.
+//!
+//! `--watchdog-ms N` arms the server's stuck-job watchdog; `--fault-plan
+//! SPEC` (e.g. `seed=7,disk.read=0.2,worker.panic=0.1,conn.drop=0.1`)
+//! enables deterministic fault injection for chaos testing — see
+//! [`ph_engine::fault::FaultPlan::parse`] for the key vocabulary. The
+//! plan also works on `phc batch` and single-program runs (the disk and
+//! worker seams; the connection seam only matters under `serve`).
 //!
 //! `phc serve` prints one `{"type": "listening", "addr": …}` line to
 //! stdout (machine-parseable; with `--listen …:0` this is how scripts
@@ -80,8 +110,9 @@ use paulihedral::Scheduler;
 use ph_engine::json::Json;
 use ph_engine::proto::{self, CompileRequest, Request};
 use ph_engine::{
-    BatchEngine, BatchResult, CacheConfig, Client, Collector, CompileJob, Engine, MetricsSnapshot,
-    Pipeline, ServeConfig, Server, Target, Telemetry,
+    BatchEngine, BatchResult, CacheConfig, Client, ClientConfig, ClientError, Collector,
+    CompileJob, Engine, Fault, FaultPlan, MetricsSnapshot, Pipeline, ServeConfig, Server, Target,
+    Telemetry,
 };
 use ph_telemetry::export;
 use qcircuit::qasm::{to_qasm, QasmOptions};
@@ -105,9 +136,16 @@ const FLAGS: &[(&str, bool)] = &[
     ("--listen", true),
     ("--queue", true),
     ("--deadline-ms", true),
+    ("--watchdog-ms", true),
+    ("--fault-plan", true),
+    ("--retries", true),
+    ("--connect-timeout-ms", true),
+    ("--read-timeout-ms", true),
+    ("--retry-seed", true),
     ("--report", false),
     ("--artifact", false),
     ("--stats", false),
+    ("--health", false),
     ("--shutdown", false),
 ];
 
@@ -243,6 +281,15 @@ fn json_report(
     out
 }
 
+/// `--fault-plan SPEC`: a seeded fault-injection plan, or the zero-cost
+/// disabled handle when absent.
+fn parse_fault(args: &[String]) -> Result<Fault, String> {
+    match value_of(args, "--fault-plan") {
+        None => Ok(Fault::disabled()),
+        Some(spec) => Ok(Fault::seeded(FaultPlan::parse(&spec)?)),
+    }
+}
+
 /// Builds the batch cache configuration from `--cache-dir`,
 /// `--cache-entries`, and `--cache-bytes`.
 fn parse_cache_config(args: &[String]) -> Result<CacheConfig, String> {
@@ -306,6 +353,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     let collector = Arc::new(Collector::new());
     let mut engine = BatchEngine::new(Pipeline::standard(scheduler), target)
         .with_cache_config(parse_cache_config(args)?)
+        .with_fault(parse_fault(args)?)
         .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
     if let Some(t) = value_of(args, "--threads") {
         let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
@@ -385,8 +433,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     if !positionals(args)?.is_empty() {
         return Err(
             "usage: phc serve [--listen ADDR] [--backend B] [--scheduler S] [--threads N] \
-             [--queue N] [--deadline-ms N] [--cache-dir DIR] [--cache-entries N] \
-             [--cache-bytes N] [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]"
+             [--queue N] [--deadline-ms N] [--watchdog-ms N] [--cache-dir DIR] \
+             [--cache-entries N] [--cache-bytes N] [--fault-plan SPEC] \
+             [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]"
                 .into(),
         );
     }
@@ -397,6 +446,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let collector = Arc::new(Collector::new());
     let mut engine = BatchEngine::new(Pipeline::standard(scheduler), target)
         .with_cache_config(parse_cache_config(args)?)
+        .with_fault(parse_fault(args)?)
         .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
     if let Some(t) = value_of(args, "--threads") {
         let t: usize = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
@@ -416,6 +466,12 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("bad --deadline-ms `{ms}`"))?;
         config.default_deadline = Some(Duration::from_millis(ms));
     }
+    if let Some(ms) = value_of(args, "--watchdog-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --watchdog-ms `{ms}`"))?;
+        config.watchdog = Some(Duration::from_millis(ms));
+    }
 
     let listen = value_of(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
     let server =
@@ -434,104 +490,167 @@ fn run_serve(args: &[String]) -> Result<(), String> {
 
     let stats = server.run();
     eprintln!(
-        "drained: {} connections, {} requests ({} completed, {} rejected, {} deadline misses)",
-        stats.connections, stats.requests, stats.completed, stats.rejected, stats.deadline_misses
+        "drained: {} connections, {} requests ({} completed, {} rejected, {} deadline misses, \
+         {} cancelled, {} watchdog timeouts)",
+        stats.connections,
+        stats.requests,
+        stats.completed,
+        stats.rejected,
+        stats.deadline_misses,
+        stats.cancelled,
+        stats.watchdog_timeouts
     );
     write_exports(args, &collector)?;
     Ok(())
 }
 
-/// `phc submit`: send compile requests to a running server and stream the
-/// response lines to stdout as they arrive.
-fn run_submit(args: &[String]) -> Result<(), String> {
+/// `phc submit` exit codes (see the module docs for the full taxonomy):
+/// usage/local error, non-transient job failure, capacity/deadline, and
+/// transport failure. `EXIT_OK` is implicit.
+const EXIT_USAGE: u8 = 1;
+const EXIT_JOB_FAILED: u8 = 2;
+const EXIT_CAPACITY: u8 = 3;
+const EXIT_TRANSPORT: u8 = 4;
+
+/// Job-error kinds that mean "the server was out of capacity or time",
+/// not "this request is wrong" — exit 3, distinct from exit 2.
+const CAPACITY_KINDS: [&str; 4] = [
+    "overloaded",
+    "draining",
+    "deadline_exceeded",
+    "watchdog_timeout",
+];
+
+/// `phc submit`: send compile requests to a running server through the
+/// resilient client (bounded reconnects + re-submission), print each
+/// final report (in id order) plus a closing `client` counters line, and
+/// exit with the taxonomy code for the worst thing that happened.
+fn run_submit(args: &[String]) -> Result<(), (u8, String)> {
     let usage = "usage: phc submit ADDR INPUT1.pauli … [--backend B] [--scheduler S] \
-                 [--deadline-ms N] [--artifact] [--stats] [--shutdown]";
-    let pos = positionals(args)?;
+                 [--deadline-ms N] [--artifact] [--retries N] [--connect-timeout-ms N] \
+                 [--read-timeout-ms N] [--retry-seed N] [--stats] [--health] [--shutdown]";
+    let local = |m: String| (EXIT_USAGE, m);
+    let transport = |e: ClientError| (EXIT_TRANSPORT, e.to_string());
+    let pos = positionals(args).map_err(local)?;
     let Some((addr, files)) = pos.split_first() else {
-        return Err(usage.into());
+        return Err(local(usage.into()));
     };
     let want_stats = flag_present(args, "--stats");
+    let want_health = flag_present(args, "--health");
     let want_shutdown = flag_present(args, "--shutdown");
-    if files.is_empty() && !want_stats && !want_shutdown {
-        return Err(usage.into());
+    if files.is_empty() && !want_stats && !want_health && !want_shutdown {
+        return Err(local(usage.into()));
     }
     let scheduler = match value_of(args, "--scheduler") {
         None => None,
-        Some(spec) => Some(proto::parse_scheduler_spec(&spec)?),
+        Some(spec) => Some(proto::parse_scheduler_spec(&spec).map_err(local)?),
     };
     let backend = value_of(args, "--backend");
     let deadline_ms = match value_of(args, "--deadline-ms") {
         None => None,
         Some(ms) => Some(
             ms.parse()
-                .map_err(|_| format!("bad --deadline-ms `{ms}`"))?,
+                .map_err(|_| local(format!("bad --deadline-ms `{ms}`")))?,
         ),
     };
 
-    let mut client =
-        Client::connect(&**addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let io_err = |e: std::io::Error| format!("{addr}: {e}");
-
-    // Submit everything up front; reports stream back in completion order.
-    let mut pending: std::collections::HashSet<u64> = (1..=files.len() as u64).collect();
-    for (i, f) in files.iter().enumerate() {
-        let ir = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
-        client
-            .send(&Request::Compile(CompileRequest {
-                id: i as u64 + 1,
-                name: Some(f.clone()),
-                ir,
-                backend: backend.clone(),
-                scheduler,
-                deadline_ms,
-                artifact: flag_present(args, "--artifact"),
-            }))
-            .map_err(io_err)?;
+    let mut config = ClientConfig::default();
+    if let Some(n) = value_of(args, "--retries") {
+        config.max_retries = n
+            .parse()
+            .map_err(|_| local(format!("bad --retries `{n}`")))?;
+    }
+    if let Some(ms) = value_of(args, "--connect-timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| local(format!("bad --connect-timeout-ms `{ms}`")))?;
+        config.connect_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = value_of(args, "--read-timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| local(format!("bad --read-timeout-ms `{ms}`")))?;
+        config.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(n) = value_of(args, "--retry-seed") {
+        config.seed = n
+            .parse()
+            .map_err(|_| local(format!("bad --retry-seed `{n}`")))?;
     }
 
-    let mut failures = 0;
-    while !pending.is_empty() {
-        let Some(line) = client.recv_line().map_err(io_err)? else {
-            break;
-        };
-        println!("{line}");
-        let v = Json::parse(&line).map_err(|e| format!("bad response line: {e}"))?;
-        if v.get("type").and_then(Json::as_str) == Some("report") {
-            if let Some(id) = v.get("id").and_then(Json::as_u64) {
-                pending.remove(&id);
-            }
-            if v.get("ok").and_then(Json::as_bool) != Some(true) {
-                failures += 1;
+    let mut reqs = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let ir = std::fs::read_to_string(f).map_err(|e| local(format!("cannot read {f}: {e}")))?;
+        reqs.push(CompileRequest {
+            id: i as u64 + 1,
+            name: Some(f.clone()),
+            ir,
+            backend: backend.clone(),
+            scheduler,
+            deadline_ms,
+            artifact: flag_present(args, "--artifact"),
+        });
+    }
+
+    let mut client =
+        Client::new(&**addr, config).map_err(|e| local(format!("cannot resolve {addr}: {e}")))?;
+    let results = client.submit_all(reqs).map_err(transport)?;
+
+    let mut job_failures = 0u64;
+    let mut capacity_failures = 0u64;
+    for report in results.values() {
+        println!("{}", report.to_compact());
+        if report.get("ok").and_then(Json::as_bool) != Some(true) {
+            let kind = report
+                .get("error_kind")
+                .and_then(Json::as_str)
+                .unwrap_or_default();
+            if CAPACITY_KINDS.contains(&kind) {
+                capacity_failures += 1;
+            } else {
+                job_failures += 1;
             }
         }
     }
 
     if want_stats {
-        client.send(&Request::Stats).map_err(io_err)?;
-        if let Some(line) = client.recv_line().map_err(io_err)? {
-            println!("{line}");
+        if let Some(line) = client.control(&Request::Stats).map_err(transport)? {
+            println!("{}", line.to_compact());
+        }
+    }
+    if want_health {
+        if let Some(line) = client.control(&Request::Health).map_err(transport)? {
+            println!("{}", line.to_compact());
         }
     }
     if want_shutdown {
-        client.send(&Request::Shutdown).map_err(io_err)?;
-        if let Some(line) = client.recv_line().map_err(io_err)? {
-            println!("{line}");
+        if let Some(line) = client.control(&Request::Shutdown).map_err(transport)? {
+            println!("{}", line.to_compact());
         }
     }
-    client.finish().map_err(io_err)?;
-    // Drain the goodbye (and anything else the server had buffered).
-    while let Some(line) = client.recv_line().map_err(io_err)? {
-        println!("{line}");
-    }
 
-    if !pending.is_empty() {
-        return Err(format!(
-            "server closed with {} report(s) outstanding",
-            pending.len()
+    // The closing counters line: how hard the client had to work. Scripts
+    // (and the CI chaos smoke) assert on these.
+    let cs = client.stats();
+    println!(
+        "{}",
+        Json::obj([
+            ("type", Json::str("client")),
+            ("connects", Json::U64(cs.connects)),
+            ("retries", Json::U64(cs.retries)),
+            ("job_retries", Json::U64(cs.job_retries)),
+        ])
+        .to_compact()
+    );
+
+    if capacity_failures > 0 {
+        return Err((
+            EXIT_CAPACITY,
+            format!("{capacity_failures} job(s) rejected for capacity or deadline"),
         ));
     }
-    if failures > 0 {
-        return Err(format!("{failures} job(s) failed"));
+    if job_failures > 0 {
+        return Err((EXIT_JOB_FAILED, format!("{job_failures} job(s) failed")));
     }
     Ok(())
 }
@@ -560,7 +679,8 @@ fn run_single(args: &[String]) -> Result<(), String> {
 
     let collector = Arc::new(Collector::new());
     let mut engine = Engine::new(Pipeline::standard(scheduler), target)
-        .with_telemetry(Telemetry::attached(Arc::clone(&collector)));
+        .with_telemetry(Telemetry::attached(Arc::clone(&collector)))
+        .with_fault(parse_fault(args)?);
     if let Some(t) = parse_intra_threads(args)? {
         engine = engine.with_intra_threads(t);
     }
@@ -597,17 +717,19 @@ fn run_single(args: &[String]) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Only `submit` has a typed exit-code taxonomy; everything else maps
+    // failure to the conventional 1.
     let result = match args.first().map(String::as_str) {
-        Some("batch") => run_batch(&args[1..]),
-        Some("serve") => run_serve(&args[1..]),
+        Some("batch") => run_batch(&args[1..]).map_err(|m| (EXIT_USAGE, m)),
+        Some("serve") => run_serve(&args[1..]).map_err(|m| (EXIT_USAGE, m)),
         Some("submit") => run_submit(&args[1..]),
-        _ => run_single(&args),
+        _ => run_single(&args).map_err(|m| (EXIT_USAGE, m)),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err((code, msg)) => {
             eprintln!("phc: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }

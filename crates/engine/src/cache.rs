@@ -21,17 +21,26 @@
 //! * **Single-flight.** Concurrent requests for one key compile it once:
 //!   followers block on the leader's in-flight compilation and share the
 //!   resulting `Arc` ([`CacheStats::coalesced`] counts the waits).
+//! * **Degrading.** The disk tier is an accelerator, not a store of
+//!   record: after [`CacheConfig::disk_error_threshold`] *consecutive*
+//!   real I/O errors (injected or organic — `NotFound` and corrupt files
+//!   don't count) the cache flips to memory-only
+//!   ([`CacheStats::disk_disabled`], `cache.disk_disabled` telemetry
+//!   instant) and re-probes the tier every
+//!   [`CacheConfig::disk_reprobe`], healing automatically when the disk
+//!   recovers (`cache.disk_recovered`).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use paulihedral::ir::PauliIR;
 use paulihedral::Compiled;
 use ph_telemetry::Telemetry;
 
+use crate::fault::{DiskReadFault, DiskWriteFault, Fault};
 use crate::persist;
 use crate::report::CompileReport;
 
@@ -152,7 +161,7 @@ impl CacheEntry {
 }
 
 /// Memory- and disk-tier configuration of a [`CompileCache`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CacheConfig {
     /// Maximum number of entries resident in memory (`None` = unbounded).
     pub max_entries: Option<usize>,
@@ -163,6 +172,25 @@ pub struct CacheConfig {
     /// Directory of the persistent tier (`None` = memory only). Created on
     /// first write; shared between processes.
     pub disk_dir: Option<PathBuf>,
+    /// Consecutive disk I/O errors before the disk tier is disabled and
+    /// the cache degrades to memory-only. `NotFound` reads and corrupt
+    /// files are misses, not errors, and never trip this.
+    pub disk_error_threshold: u32,
+    /// How often a disabled disk tier lets one operation through as a
+    /// health probe; a probe that succeeds re-enables the tier.
+    pub disk_reprobe: Duration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            max_entries: None,
+            max_bytes: None,
+            disk_dir: None,
+            disk_error_threshold: 3,
+            disk_reprobe: Duration::from_secs(5),
+        }
+    }
 }
 
 impl CacheConfig {
@@ -191,6 +219,15 @@ pub struct CacheStats {
     /// opened (left behind by writers that crashed between temp-file
     /// creation and the atomic rename).
     pub tmp_swept: u64,
+    /// Real disk-tier I/O errors observed (`NotFound` and corrupt files
+    /// excluded — those are misses).
+    pub disk_errors: u64,
+    /// Times a disabled disk tier healed after a successful re-probe.
+    pub disk_heals: u64,
+    /// `true` while the disk tier is disabled after
+    /// [`CacheConfig::disk_error_threshold`] consecutive I/O errors (the
+    /// cache is serving memory-only and re-probing periodically).
+    pub disk_disabled: bool,
     /// Entries currently resident in memory.
     pub entries: usize,
     /// Approximate bytes currently resident in memory.
@@ -378,6 +415,16 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// Disk-tier health: a consecutive-error counter that trips a disabled
+/// flag, plus the re-probe gate that lets the tier heal.
+#[derive(Debug, Default)]
+struct DiskHealth {
+    consecutive: AtomicU32,
+    disabled: AtomicBool,
+    /// Earliest instant the next health probe may run while disabled.
+    next_probe: Mutex<Option<Instant>>,
+}
+
 /// A thread-safe, content-addressed map from request fingerprints to
 /// compiled artifacts: bounded LRU in memory, optionally persistent on
 /// disk, with single-flight miss coalescing.
@@ -392,8 +439,12 @@ pub struct CompileCache {
     coalesced: AtomicU64,
     evictions: AtomicU64,
     tmp_swept: AtomicU64,
+    disk_errors: AtomicU64,
+    disk_heals: AtomicU64,
+    health: DiskHealth,
     tmp_sweep_reported: AtomicBool,
     telemetry: Telemetry,
+    fault: Fault,
 }
 
 impl CompileCache {
@@ -461,6 +512,60 @@ impl CompileCache {
         }
     }
 
+    /// Attaches a fault-injection handle (disk reads/writes consult it).
+    /// The default [`Fault::disabled`] handle costs one `Option` check.
+    pub fn set_fault(&mut self, fault: Fault) {
+        self.fault = fault;
+    }
+
+    /// Whether the disk tier may be touched right now: yes while healthy;
+    /// while disabled, yes for exactly one operation per
+    /// [`CacheConfig::disk_reprobe`] window (that operation *is* the
+    /// health probe — its success heals the tier, its failure pushes the
+    /// next probe out another window).
+    fn disk_gate(&self) -> bool {
+        if !self.health.disabled.load(Ordering::SeqCst) {
+            return true;
+        }
+        let now = Instant::now();
+        let mut next = relock(&self.health.next_probe);
+        match *next {
+            Some(t) if now < t => false,
+            _ => {
+                *next = Some(now + self.config.disk_reprobe);
+                true
+            }
+        }
+    }
+
+    /// Records a successful disk operation: resets the error streak and
+    /// heals a disabled tier.
+    fn disk_ok(&self) {
+        self.health.consecutive.store(0, Ordering::SeqCst);
+        if self.health.disabled.swap(false, Ordering::SeqCst) {
+            self.disk_heals.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.mark("cache.disk_recovered", &[]);
+        }
+    }
+
+    /// Records a real disk I/O error; at
+    /// [`CacheConfig::disk_error_threshold`] consecutive errors the tier
+    /// is disabled and the cache degrades to memory-only.
+    fn disk_error(&self) {
+        self.disk_errors.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.mark("cache.disk_error", &[]);
+        let streak = self.health.consecutive.fetch_add(1, Ordering::SeqCst) + 1;
+        if streak >= self.config.disk_error_threshold
+            && !self.health.disabled.swap(true, Ordering::SeqCst)
+        {
+            *relock(&self.health.next_probe) = Some(Instant::now() + self.config.disk_reprobe);
+            self.telemetry.mark(
+                "cache.disk_disabled",
+                &[("consecutive_errors", u64::from(streak).into())],
+            );
+        }
+    }
+
     /// Locks the memory tier, recording how long the lock was contended.
     fn lock_entries(&self) -> MutexGuard<'_, LruMap> {
         if self.telemetry.is_enabled() {
@@ -487,8 +592,34 @@ impl CompileCache {
             return Some((entry, CacheOutcome::MemoryHit));
         }
         let dir = self.config.disk_dir.as_deref()?;
+        if !self.disk_gate() {
+            return None;
+        }
         let t0 = Instant::now();
-        let bytes = std::fs::read(Self::disk_path(dir, key)).ok()?;
+        let path = Self::disk_path(dir, key);
+        let read = match self.fault.disk_read() {
+            DiskReadFault::Error(kind) => Err(std::io::Error::from(kind)),
+            DiskReadFault::BitFlip => std::fs::read(&path).map(|mut b| {
+                self.fault.corrupt(&mut b);
+                b
+            }),
+            DiskReadFault::None => std::fs::read(&path),
+        };
+        let bytes = match read {
+            Ok(b) => {
+                self.disk_ok();
+                b
+            }
+            // A missing file is a healthy miss — the tier answered.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.disk_ok();
+                return None;
+            }
+            Err(_) => {
+                self.disk_error();
+                return None;
+            }
+        };
         // Corrupt, truncated, or foreign files are misses, not errors.
         let entry = persist::decode_entry(&bytes).ok()?;
         self.telemetry.mark(
@@ -539,13 +670,17 @@ impl CompileCache {
     }
 
     /// Best-effort write-back to the disk tier (atomic via temp + rename;
-    /// IO failures are ignored — the cache is an accelerator, not a store
-    /// of record).
+    /// IO failures never fail the request — the cache is an accelerator,
+    /// not a store of record — but they do feed the disk-health streak).
     fn write_back(&self, key: u64, entry: &CacheEntry) {
         let Some(dir) = self.config.disk_dir.as_deref() else {
             return;
         };
+        if !self.disk_gate() {
+            return;
+        }
         if std::fs::create_dir_all(dir).is_err() {
+            self.disk_error();
             return;
         }
         // Overwrite unconditionally: write-back only runs after both tiers
@@ -555,8 +690,26 @@ impl CompileCache {
         let bytes = persist::encode_entry(entry);
         let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
         let t0 = Instant::now();
-        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        let written = match self.fault.disk_write() {
+            DiskWriteFault::Error(kind) => Err(std::io::Error::from(kind)),
+            // A torn write that still renames into place: the trailing
+            // checksum turns it into a miss on the next read.
+            DiskWriteFault::Short => std::fs::write(&tmp, &bytes[..bytes.len() / 2]),
+            DiskWriteFault::None => std::fs::write(&tmp, &bytes),
+        };
+        match written {
+            Ok(()) => {
+                if std::fs::rename(&tmp, &path).is_ok() {
+                    self.disk_ok();
+                } else {
+                    let _ = std::fs::remove_file(&tmp);
+                    self.disk_error();
+                }
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.disk_error();
+            }
         }
         self.telemetry.mark(
             "cache.disk_write",
@@ -694,6 +847,9 @@ impl CompileCache {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            disk_heals: self.disk_heals.load(Ordering::Relaxed),
+            disk_disabled: self.health.disabled.load(Ordering::SeqCst),
             entries,
             resident_bytes,
         }

@@ -11,6 +11,7 @@ use ph_telemetry::Telemetry;
 use crate::cache::{
     fingerprint_ir, CacheConfig, CacheEntry, CacheOutcome, CacheStats, CompileCache, Fingerprint,
 };
+use crate::fault::{Fault, WorkerFault};
 use crate::pass::{PassContext, Target};
 use crate::pipeline::Pipeline;
 use crate::report::{CompileReport, PassRecord};
@@ -37,6 +38,7 @@ pub struct Engine {
     cache_enabled: bool,
     telemetry: Telemetry,
     intra_threads: usize,
+    fault: Fault,
 }
 
 /// Wraps each parallel synthesis shard in a `shard:<stage>` telemetry
@@ -67,6 +69,7 @@ impl Engine {
             cache_enabled: true,
             telemetry: Telemetry::disabled(),
             intra_threads: 1,
+            fault: Fault::disabled(),
         }
     }
 
@@ -93,7 +96,25 @@ impl Engine {
     pub fn with_cache_config(mut self, config: CacheConfig) -> Engine {
         self.cache = CompileCache::with_config(config);
         self.cache.set_telemetry(self.telemetry.clone());
+        self.cache.set_fault(self.fault.clone());
         self
+    }
+
+    /// Attaches a fault-injection handle ([`crate::fault`]) to the engine
+    /// and its cache: compiles consult the worker seam (injected panics
+    /// and delays), the disk tier consults the disk seam. Builder-style;
+    /// the default [`Fault::disabled`] handle injects nothing and costs
+    /// one `Option` check per site.
+    pub fn with_fault(mut self, fault: Fault) -> Engine {
+        self.cache.set_fault(fault.clone());
+        self.fault = fault;
+        self
+    }
+
+    /// The engine's fault-injection handle (disabled unless
+    /// [`Engine::with_fault`] attached one).
+    pub fn fault(&self) -> &Fault {
+        &self.fault
     }
 
     /// Attaches a telemetry handle: one span per request (`compile`) and
@@ -136,6 +157,11 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// The cache's configuration (budgets, disk tier, degradation knobs).
+    pub fn cache_config(&self) -> &CacheConfig {
+        self.cache.config()
+    }
+
     /// Compiles one program against the default target.
     ///
     /// # Errors
@@ -175,6 +201,15 @@ impl Engine {
         scheduler: Option<Scheduler>,
         intra_threads: usize,
     ) -> Result<EngineOutput, CompileError> {
+        // The worker fault seam sits at the very top of the compile path:
+        // an injected panic unwinds through `compile_caught` exactly like
+        // an organic pass bug would, and an injected delay models a slow
+        // compile without touching the passes.
+        match self.fault.worker() {
+            WorkerFault::Panic => panic!("injected fault: worker panic"),
+            WorkerFault::Delay(d) => std::thread::sleep(d),
+            WorkerFault::None => {}
+        }
         // The request span both traces the compile and is its timer: its
         // wall time becomes `CompileReport::total`.
         let span = self.telemetry.span("compile");

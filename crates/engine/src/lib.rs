@@ -25,7 +25,19 @@
 //!    with backpressure, per-request deadlines, panic isolation, graceful
 //!    drain, and reports streamed back as each job finishes. `phc serve` /
 //!    `phc submit` let multiple processes share one `--cache-dir`.
-//! 5. **Telemetry** ([`ph_telemetry`], attached via
+//!    [`client::Client`] is the resilient side of the wire: connect/read
+//!    timeouts, bounded reconnects with jittered backoff, and idempotent
+//!    re-submission of unanswered jobs.
+//! 5. **Fault injection** ([`fault`]): a deterministic, seeded harness
+//!    that injects failures through the real I/O seams — disk-tier
+//!    reads/writes (errors, torn writes, bit-flips), worker compiles
+//!    (panics, delays), and connection writes (drops, truncation,
+//!    stalls). Off by default and zero-cost when off; the chaos suite
+//!    and `phc --fault-plan` turn it on. The disk tier degrades to
+//!    memory-only after repeated I/O errors and heals on re-probe
+//!    ([`CacheStats::disk_disabled`]); the server's watchdog turns stuck
+//!    compiles into typed `watchdog_timeout` answers.
+//! 6. **Telemetry** ([`ph_telemetry`], attached via
 //!    [`Engine::with_telemetry`] / [`BatchEngine::with_telemetry`]): spans
 //!    for every batch, job, request, and pass; cache events mirroring the
 //!    [`CacheStats`] counters; and latency histograms — exportable as a
@@ -52,7 +64,9 @@
 
 pub mod batch;
 pub mod cache;
+pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod pass;
 pub mod persist;
 pub mod pipeline;
@@ -72,11 +86,13 @@ pub mod json {
 
 pub use batch::{BatchEngine, BatchResult, CompileJob};
 pub use cache::{CacheConfig, CacheOutcome, CacheStats, CompileCache};
+pub use client::{Client, ClientConfig, ClientError, ClientStats, Connection};
 pub use engine::{Engine, EngineOutput};
+pub use fault::{Fault, FaultCounters, FaultPlan};
 pub use pass::{FusionPass, Pass, PassContext, PeepholePass, SchedulePass, SynthesisPass, Target};
 pub use ph_telemetry::{Collector, MetricsSnapshot, Telemetry};
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use proto::{CompileRequest, Request};
 pub use report::{CompileReport, PassRecord};
-pub use serve::{Client, ServeConfig, ServeStats, Server, ServerHandle};
+pub use serve::{ServeConfig, ServeStats, Server, ServerHandle};
 pub use unit::CompileUnit;

@@ -9,20 +9,27 @@
 //!  "deadline_ms": 5000, "artifact": true}
 //! {"type": "ping"}
 //! {"type": "stats"}
+//! {"type": "health"}
 //! {"type": "shutdown"}
 //! ```
 //!
 //! Responses (server → client): `report` (one per compile request, as it
 //! finishes — success and failure are both values carrying the request
-//! `id`), `pong`, `stats`, `shutdown_ack`, `bye` (end of connection), and
-//! `error` (a line the server could not attribute to a request).
+//! `id`), `pong`, `stats`, `health` (queue depth, worker liveness, cache
+//! tier status), `shutdown_ack`, `bye` (end of connection), and `error`
+//! (a line the server could not attribute to a request).
 //!
 //! Error taxonomy on `ok: false` reports (`error_kind`): the compiler's
 //! own rejections (`empty_program`, `device_too_small`,
 //! `device_disconnected`, `panicked`) plus the service's
 //! (`bad_request`, `overloaded`, `draining`, `deadline_exceeded`,
-//! `request_too_large`). Every accepted compile request gets exactly one
-//! report; a client can therefore count reports against submissions.
+//! `request_too_large`, `watchdog_timeout`). Every accepted compile
+//! request gets exactly one report; a client can therefore count reports
+//! against submissions. `panicked`, `overloaded`, and `watchdog_timeout`
+//! are *retryable*: re-submitting the same id is safe (compiles are
+//! content-addressed and cached, so a duplicate submission of work that
+//! already succeeded is a cache hit, not a recompute) — this is what
+//! [`crate::client::Client`] automates.
 //!
 //! This module owns the JSON shapes shared by the server ([`crate::serve`]),
 //! the `phc submit` client, and the `phc batch` report, so the wire format
@@ -46,6 +53,9 @@ pub enum Request {
     Ping,
     /// Server + cache counters; answered by `stats`.
     Stats,
+    /// Queue depth, worker liveness, and cache tier status; answered by
+    /// `health`. Cheap enough for load-balancer probes.
+    Health,
     /// Begin graceful drain; answered by `shutdown_ack`.
     Shutdown,
 }
@@ -123,6 +133,7 @@ impl Request {
         match ty {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             "compile" => {
                 let id = v
@@ -158,6 +169,7 @@ impl Request {
         match self {
             Request::Ping => Json::obj([("type", Json::str("ping"))]),
             Request::Stats => Json::obj([("type", Json::str("stats"))]),
+            Request::Health => Json::obj([("type", Json::str("health"))]),
             Request::Shutdown => Json::obj([("type", Json::str("shutdown"))]),
             Request::Compile(c) => {
                 let mut fields = vec![
@@ -314,6 +326,9 @@ pub fn cache_json(cs: &CacheStats) -> Json {
         ("tmp_swept", Json::U64(cs.tmp_swept)),
         ("entries", Json::U64(cs.entries as u64)),
         ("resident_bytes", Json::U64(cs.resident_bytes as u64)),
+        ("disk_errors", Json::U64(cs.disk_errors)),
+        ("disk_heals", Json::U64(cs.disk_heals)),
+        ("disk_disabled", Json::Bool(cs.disk_disabled)),
     ])
 }
 
@@ -382,7 +397,12 @@ mod tests {
 
     #[test]
     fn control_requests_round_trip() {
-        for req in [Request::Ping, Request::Stats, Request::Shutdown] {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Health,
+            Request::Shutdown,
+        ] {
             assert_eq!(Request::from_line(req.to_line().trim_end()).unwrap(), req);
         }
     }

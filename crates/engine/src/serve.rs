@@ -8,7 +8,8 @@
 //! moment it finishes** — no batch barrier, and results from different
 //! connections interleave freely.
 //!
-//! Robustness properties, all tested end-to-end:
+//! Robustness properties, all tested end-to-end (and under injected
+//! faults by the chaos suite):
 //!
 //! * **Backpressure.** The queue is bounded ([`ServeConfig::queue_depth`]);
 //!   a compile request arriving while it is full is answered immediately
@@ -20,16 +21,27 @@
 //!   ([`crate::Engine::compile_caught`]), malformed requests, and
 //!   oversized lines are all wire responses; none of them kill the
 //!   connection, the worker, or the server.
+//! * **Dead connections don't waste workers.** A client that vanishes
+//!   mid-stream is detected at the first failed response write; that
+//!   connection's still-queued jobs are cancelled instead of compiled
+//!   ([`ServeStats::cancelled`], `serve.cancelled` telemetry).
+//! * **Watchdog.** With [`ServeConfig::watchdog`] set, a job stuck in a
+//!   worker past the threshold is force-answered with a typed
+//!   `watchdog_timeout` report and a replacement worker is spawned, so
+//!   one wedged compile can neither hold its client hostage nor wedge
+//!   the drain. Each job is answered exactly once — a stuck compile that
+//!   eventually finishes is discarded.
 //! * **Graceful drain.** A `shutdown` request (or [`ServerHandle::shutdown`])
 //!   stops accepting connections and new work, but every job already
-//!   accepted is compiled and its report delivered before [`Server::run`]
-//!   returns.
+//!   accepted is answered (compiled, cancelled, or timed out) before
+//!   [`Server::run`] returns.
 //!
 //! Telemetry: each connection runs under a `conn` span, each job under a
 //! `request` span (with `id`/`conn`/`queue_wait_us` args) that the
 //! engine's `compile` span nests inside, plus `serve.request` /
-//! `serve.reject` / `serve.deadline_miss` instants and
-//! `serve.queue_wait_ns` / `serve.request_ns` histograms.
+//! `serve.reject` / `serve.deadline_miss` / `serve.cancelled` /
+//! `serve.watchdog_timeout` instants and `serve.queue_wait_ns` /
+//! `serve.request_ns` histograms.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -45,6 +57,7 @@ use ph_telemetry::json::Json;
 
 use crate::batch::BatchEngine;
 use crate::cache::{relock, CacheEntry};
+use crate::fault::{ConnFault, Fault};
 use crate::pass::Target;
 use crate::persist;
 use crate::proto::{self, CompileRequest, Request};
@@ -61,6 +74,10 @@ pub struct ServeConfig {
     /// Longest accepted request line in bytes; longer lines are answered
     /// with `request_too_large` and the connection is closed.
     pub max_line_bytes: usize,
+    /// Stuck-job threshold: a job inside a worker longer than this is
+    /// force-answered with a `watchdog_timeout` report and its worker is
+    /// written off and replaced (`None` = no watchdog).
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +86,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             default_deadline: None,
             max_line_bytes: 16 * 1024 * 1024,
+            watchdog: None,
         }
     }
 }
@@ -89,11 +107,29 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Jobs whose deadline expired before a worker picked them up.
     pub deadline_misses: u64,
+    /// Queued jobs skipped because their connection was already dead.
+    pub cancelled: u64,
+    /// Jobs force-answered by the watchdog after exceeding the
+    /// stuck-threshold.
+    pub watchdog_timeouts: u64,
+    /// Replacement workers spawned for written-off stuck ones.
+    pub workers_replaced: u64,
+}
+
+/// One accepted compile request's answer slot: which connection to write
+/// to and the exactly-once latch both the worker and the watchdog race
+/// for. Whoever swaps `answered` first writes the report; the loser's
+/// result is discarded.
+struct Ticket {
+    conn: Arc<Conn>,
+    id: u64,
+    name: String,
+    answered: AtomicBool,
 }
 
 /// One queued compile job, carrying everything the worker needs.
 struct Job {
-    conn: Arc<Conn>,
+    ticket: Arc<Ticket>,
     req: CompileRequest,
     ir: PauliIR,
     target: Option<Target>,
@@ -112,18 +148,53 @@ struct Conn {
     /// Report lines (success, failure, or reject) written so far.
     served: AtomicU64,
     closed: AtomicBool,
+    /// Set on the first failed (or fault-injected) response write: the
+    /// client is gone, so this connection's remaining queued jobs are
+    /// cancelled instead of compiled.
+    dead: AtomicBool,
+    fault: Fault,
 }
 
 impl Conn {
-    /// Writes one response line. IO errors are ignored — a client that
-    /// disappeared simply stops receiving reports; its jobs still complete
-    /// (and still warm the shared cache).
+    /// Writes one response line. A failed write marks the connection dead
+    /// — the jobs already compiled stay compiled (and warm the shared
+    /// cache), but queued ones will be cancelled rather than compiled for
+    /// a client that can no longer receive them.
     fn write_line(&self, json: &Json) {
+        if self.is_dead() {
+            return;
+        }
         let mut line = json.to_compact();
         line.push('\n');
+        match self.fault.conn_write() {
+            ConnFault::Drop => {
+                self.dead.store(true, Ordering::SeqCst);
+                self.close();
+                return;
+            }
+            ConnFault::Truncate => {
+                let cut = line.len() / 2;
+                {
+                    let mut stream = relock(&self.writer);
+                    let _ = stream.write_all(&line.as_bytes()[..cut]);
+                    let _ = stream.flush();
+                }
+                self.dead.store(true, Ordering::SeqCst);
+                self.close();
+                return;
+            }
+            ConnFault::Stall(d) => thread::sleep(d),
+            ConnFault::None => {}
+        }
         let mut stream = relock(&self.writer);
-        let _ = stream.write_all(line.as_bytes());
-        let _ = stream.flush();
+        let ok = stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok();
+        if !ok {
+            self.dead.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
     }
 
     fn add_pending(&self) {
@@ -177,12 +248,24 @@ struct Inner {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     draining: AtomicBool,
+    /// Set once the drain has finished; stops the watchdog thread.
+    done: AtomicBool,
     conns: Mutex<Vec<Arc<Conn>>>,
+    /// Accepted compile requests not yet answered (the drain barrier:
+    /// [`Server::run`] returns once draining is set and this hits zero).
+    outstanding: Mutex<u64>,
+    drained: Condvar,
+    /// Jobs currently inside a worker, with their start instants — what
+    /// the watchdog scans.
+    running: Mutex<Vec<(Arc<Ticket>, Instant)>>,
     connections: AtomicU64,
     requests: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     deadline_misses: AtomicU64,
+    cancelled: AtomicU64,
+    watchdog_timeouts: AtomicU64,
+    workers_replaced: AtomicU64,
 }
 
 impl Inner {
@@ -193,6 +276,9 @@ impl Inner {
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            watchdog_timeouts: self.watchdog_timeouts.load(Ordering::Relaxed),
+            workers_replaced: self.workers_replaced.load(Ordering::Relaxed),
         }
     }
 
@@ -243,9 +329,54 @@ impl Inner {
             self.draining.store(true, Ordering::SeqCst);
         }
         self.queue_cv.notify_all();
+        // The drain barrier may already hold (nothing outstanding).
+        self.drained.notify_all();
         // Unblock the accept loop: it re-checks `draining` per connection,
         // so one throwaway local connect is enough to let it exit.
         let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until draining is requested and every accepted job has been
+    /// answered.
+    fn wait_drained(&self) {
+        let mut outstanding = relock(&self.outstanding);
+        while *outstanding > 0 {
+            outstanding = self
+                .drained
+                .wait(outstanding)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Claims one outstanding-answer slot for a just-accepted job.
+    fn accept_one(&self, conn: &Conn) {
+        conn.add_pending();
+        *relock(&self.outstanding) += 1;
+    }
+
+    /// Answers one accepted job exactly once: writes the report line (if
+    /// any — cancelled jobs write nothing), releases the connection's
+    /// pending slot, and decrements the drain barrier. Returns `false`
+    /// when someone else (worker vs. watchdog) answered first. The
+    /// winner's outcome counter is bumped *before* the write, so a client
+    /// that reads its report and immediately asks for `stats` sees it
+    /// counted.
+    fn answer(&self, ticket: &Ticket, line: Option<&Json>, counter: &AtomicU64) -> bool {
+        if ticket.answered.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(line) = line {
+            ticket.conn.write_line(line);
+            ticket.conn.count_report();
+        }
+        ticket.conn.complete();
+        let mut outstanding = relock(&self.outstanding);
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.drained.notify_all();
+        }
+        true
     }
 
     /// The `stats` response line.
@@ -261,6 +392,9 @@ impl Inner {
                     ("completed", Json::U64(s.completed)),
                     ("rejected", Json::U64(s.rejected)),
                     ("deadline_misses", Json::U64(s.deadline_misses)),
+                    ("cancelled", Json::U64(s.cancelled)),
+                    ("watchdog_timeouts", Json::U64(s.watchdog_timeouts)),
+                    ("workers_replaced", Json::U64(s.workers_replaced)),
                     ("queued", Json::U64(self.queued() as u64)),
                 ]),
             ),
@@ -271,7 +405,43 @@ impl Inner {
         ])
     }
 
-    /// Answers one compile request with a service-side rejection.
+    /// The `health` response line: queue depth, worker liveness, and
+    /// cache tier status, cheap enough for load-balancer probes.
+    fn health_json(&self) -> Json {
+        let s = self.stats();
+        let cache = self.batch.engine().cache_stats();
+        let draining = self.draining.load(Ordering::SeqCst);
+        let disk_tier = if self.batch.engine().cache_config().disk_dir.is_none() {
+            "none"
+        } else if cache.disk_disabled {
+            "disabled"
+        } else {
+            "ok"
+        };
+        let status = if draining {
+            "draining"
+        } else if cache.disk_disabled || s.workers_replaced > 0 {
+            "degraded"
+        } else {
+            "ok"
+        };
+        Json::obj([
+            ("type", Json::str("health")),
+            ("status", Json::str(status)),
+            ("draining", Json::Bool(draining)),
+            ("queued", Json::U64(self.queued() as u64)),
+            ("queue_depth", Json::U64(self.config.queue_depth as u64)),
+            ("workers", Json::U64(self.batch.threads() as u64)),
+            ("workers_replaced", Json::U64(s.workers_replaced)),
+            ("running", Json::U64(relock(&self.running).len() as u64)),
+            ("watchdog_timeouts", Json::U64(s.watchdog_timeouts)),
+            ("disk_tier", Json::str(disk_tier)),
+            ("cache", proto::cache_json(&cache)),
+        ])
+    }
+
+    /// Answers one compile request with a service-side rejection (before
+    /// it was ever accepted — parse and validation failures).
     fn reject(&self, conn: &Conn, req: &CompileRequest, kind: &str, message: &str) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
         self.batch.engine().telemetry().mark("serve.reject", &[]);
@@ -311,9 +481,15 @@ impl Inner {
             .map(Duration::from_millis)
             .or(self.config.default_deadline)
             .map(|d| Instant::now() + d);
-        conn.add_pending();
-        let job = Job {
+        self.accept_one(conn);
+        let ticket = Arc::new(Ticket {
             conn: Arc::clone(conn),
+            id: req.id,
+            name: req.display_name(),
+            answered: AtomicBool::new(false),
+        });
+        let job = Job {
+            ticket,
             req,
             ir,
             target,
@@ -331,14 +507,15 @@ impl Inner {
                 ),
                 PushError::Draining => ("draining", "server is shutting down".to_string()),
             };
-            self.reject(&job.conn, &job.req, tag, &message);
-            // The pending slot claimed above is answered by the reject.
-            job.conn.complete();
+            self.batch.engine().telemetry().mark("serve.reject", &[]);
+            let line = proto::reject_json(job.req.id, &job.ticket.name, tag, &message);
+            self.answer(&job.ticket, Some(&line), &self.rejected);
         }
     }
 
-    /// One worker: pull → deadline check → compile → stream the report.
-    fn worker(&self) {
+    /// One worker: pull → liveness/deadline check → compile → stream the
+    /// report (unless the watchdog already answered for us).
+    fn worker(self: &Arc<Inner>) {
         let telemetry = self.batch.engine().telemetry().clone();
         while let Some(job) = self.pop() {
             let queue_wait = job.enqueued.elapsed();
@@ -346,7 +523,7 @@ impl Inner {
                 "request",
                 vec![
                     ("id", job.req.id.into()),
-                    ("conn", job.conn.id.into()),
+                    ("conn", job.ticket.conn.id.into()),
                     (
                         "queue_wait_us",
                         u64::try_from(queue_wait.as_micros())
@@ -355,16 +532,22 @@ impl Inner {
                     ),
                 ],
             );
-            let line = if job.deadline.is_some_and(|d| Instant::now() > d) {
-                self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            if job.ticket.conn.is_dead() {
+                // The client vanished mid-stream; skip the compile rather
+                // than burn a worker on a report nobody can receive.
+                telemetry.mark("serve.cancelled", &[("conn", job.ticket.conn.id.into())]);
+                self.answer(&job.ticket, None, &self.cancelled);
+            } else if job.deadline.is_some_and(|d| Instant::now() > d) {
                 telemetry.mark("serve.deadline_miss", &[]);
-                proto::reject_json(
+                let line = proto::reject_json(
                     job.req.id,
-                    &job.req.display_name(),
+                    &job.ticket.name,
                     "deadline_exceeded",
                     "deadline expired before a worker picked the job up",
-                )
+                );
+                self.answer(&job.ticket, Some(&line), &self.deadline_misses);
             } else {
+                relock(&self.running).push((Arc::clone(&job.ticket), Instant::now()));
                 let t0 = Instant::now();
                 let outcome = self.batch.engine().compile_caught(
                     &job.ir,
@@ -372,6 +555,7 @@ impl Inner {
                     job.req.scheduler,
                 );
                 let wall = t0.elapsed();
+                relock(&self.running).retain(|(t, _)| !Arc::ptr_eq(t, &job.ticket));
                 let artifact = match (&outcome, job.req.artifact) {
                     (Ok(o), true) => {
                         let entry = CacheEntry {
@@ -382,19 +566,101 @@ impl Inner {
                     }
                     _ => None,
                 };
-                self.completed.fetch_add(1, Ordering::Relaxed);
-                proto::report_json(
+                let line = proto::report_json(
                     job.req.id,
-                    proto::job_json(&job.req.display_name(), &outcome, wall, queue_wait),
+                    proto::job_json(&job.ticket.name, &outcome, wall, queue_wait),
                     artifact,
-                )
-            };
-            job.conn.write_line(&line);
-            job.conn.count_report();
-            job.conn.complete();
+                );
+                if !self.answer(&job.ticket, Some(&line), &self.completed) {
+                    // The watchdog wrote this job off while we computed;
+                    // the (late) result is discarded.
+                    telemetry.mark("serve.late_result", &[("id", job.req.id.into())]);
+                }
+            }
             let wall = span.finish();
             telemetry.record_duration("serve.request_ns", wall);
             telemetry.record_duration("serve.queue_wait_ns", queue_wait);
+        }
+    }
+
+    /// The watchdog loop: scan running jobs every quarter-threshold,
+    /// force-answer any stuck past the threshold with `watchdog_timeout`,
+    /// and spawn a replacement for each written-off worker (bounded, so a
+    /// pathological workload cannot spawn threads without limit).
+    fn watchdog(self: &Arc<Inner>, threshold: Duration) {
+        let replacement_cap = (self.batch.threads() as u64) * 4;
+        let tick = (threshold / 4).max(Duration::from_millis(1));
+        let telemetry = self.batch.engine().telemetry().clone();
+        while !self.done.load(Ordering::SeqCst) {
+            thread::sleep(tick);
+            let stuck: Vec<Arc<Ticket>> = {
+                let mut running = relock(&self.running);
+                let mut out = Vec::new();
+                running.retain(|(ticket, started)| {
+                    if started.elapsed() > threshold {
+                        out.push(Arc::clone(ticket));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                out
+            };
+            for ticket in stuck {
+                let line = proto::reject_json(
+                    ticket.id,
+                    &ticket.name,
+                    "watchdog_timeout",
+                    &format!(
+                        "job exceeded the {} ms stuck-job threshold",
+                        threshold.as_millis()
+                    ),
+                );
+                if !self.answer(&ticket, Some(&line), &self.watchdog_timeouts) {
+                    // The worker finished in the gap between the scan and
+                    // here — not stuck after all, nothing to replace.
+                    continue;
+                }
+                telemetry.mark("serve.watchdog_timeout", &[("id", ticket.id.into())]);
+                // The worker underneath is presumed wedged. Replace it so
+                // queued jobs keep flowing; the wedged thread's eventual
+                // result (if any) loses the answer race and is discarded.
+                let replaced = self.workers_replaced.fetch_add(1, Ordering::SeqCst) + 1;
+                if replaced <= replacement_cap {
+                    let inner = Arc::clone(self);
+                    thread::spawn(move || inner.worker());
+                } else {
+                    self.workers_replaced.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            // Safety valve once the replacement budget is spent: expire
+            // queued jobs past the threshold directly so the drain still
+            // terminates even if every worker is wedged.
+            if self.workers_replaced.load(Ordering::SeqCst) >= replacement_cap {
+                let expired: Vec<Arc<Ticket>> = {
+                    let mut queue = relock(&self.queue);
+                    let mut out = Vec::new();
+                    queue.retain(|job| {
+                        if job.enqueued.elapsed() > threshold {
+                            out.push(Arc::clone(&job.ticket));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    out
+                };
+                for ticket in expired {
+                    telemetry.mark("serve.watchdog_timeout", &[("id", ticket.id.into())]);
+                    let line = proto::reject_json(
+                        ticket.id,
+                        &ticket.name,
+                        "watchdog_timeout",
+                        "all workers wedged; job expired in queue",
+                    );
+                    self.answer(&ticket, Some(&line), &self.watchdog_timeouts);
+                }
+            }
         }
     }
 
@@ -435,6 +701,7 @@ impl Inner {
                             conn.write_line(&Json::obj([("type", Json::str("pong"))]));
                         }
                         Ok(Request::Stats) => conn.write_line(&self.stats_json()),
+                        Ok(Request::Health) => conn.write_line(&self.health_json()),
                         Ok(Request::Shutdown) => {
                             conn.write_line(&Json::obj([
                                 ("type", Json::str("shutdown_ack")),
@@ -523,12 +790,19 @@ impl Server {
                 queue: Mutex::new(VecDeque::new()),
                 queue_cv: Condvar::new(),
                 draining: AtomicBool::new(false),
+                done: AtomicBool::new(false),
                 conns: Mutex::new(Vec::new()),
+                outstanding: Mutex::new(0),
+                drained: Condvar::new(),
+                running: Mutex::new(Vec::new()),
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 deadline_misses: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+                watchdog_timeouts: AtomicU64::new(0),
+                workers_replaced: AtomicU64::new(0),
             }),
         })
     }
@@ -547,16 +821,22 @@ impl Server {
     }
 
     /// Serves until drained: accepts connections, streams reports, and on
-    /// shutdown compiles every accepted job before returning the final
+    /// shutdown answers every accepted job before returning the final
     /// counters.
+    ///
+    /// Workers are detached rather than joined: the drain barrier counts
+    /// *answers*, not worker exits, so a worker wedged on a stuck compile
+    /// (written off by the watchdog) cannot wedge the drain with it.
     pub fn run(self) -> ServeStats {
         let inner = self.inner;
-        let workers: Vec<_> = (0..inner.batch.threads())
-            .map(|_| {
-                let inner = Arc::clone(&inner);
-                thread::spawn(move || inner.worker())
-            })
-            .collect();
+        for _ in 0..inner.batch.threads() {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || inner.worker());
+        }
+        let watchdog = inner.config.watchdog.map(|threshold| {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || inner.watchdog(threshold))
+        });
 
         let mut conn_threads = Vec::new();
         for stream in self.listener.incoming() {
@@ -575,6 +855,8 @@ impl Server {
                 idle: Condvar::new(),
                 served: AtomicU64::new(0),
                 closed: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
+                fault: inner.batch.engine().fault().clone(),
             });
             relock(&inner.conns).push(Arc::clone(&conn));
             let inner = Arc::clone(&inner);
@@ -582,11 +864,10 @@ impl Server {
         }
         drop(self.listener);
 
-        // Drain: workers exit once the queue is empty, which means every
-        // accepted job's report has been written.
-        for w in workers {
-            let _ = w.join();
-        }
+        // Drain: every accepted job answered (compiled, cancelled, timed
+        // out, or rejected) — not "every worker exited".
+        inner.wait_drained();
+        inner.done.store(true, Ordering::SeqCst);
         // Readers may still be blocked on clients that never hang up;
         // closing the sockets gives them EOF and lets them finish their
         // own goodbye path.
@@ -595,6 +876,9 @@ impl Server {
         }
         for t in conn_threads {
             let _ = t.join();
+        }
+        if let Some(w) = watchdog {
+            let _ = w.join();
         }
         inner.stats()
     }
@@ -620,88 +904,5 @@ impl ServerHandle {
     /// Jobs currently waiting for a worker.
     pub fn queued(&self) -> usize {
         self.inner.queued()
-    }
-}
-
-/// A minimal blocking client for the wire protocol — what `phc submit`
-/// and the integration tests use.
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    /// Connects to a running server.
-    ///
-    /// # Errors
-    ///
-    /// Any [`TcpStream::connect`] failure.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
-        })
-    }
-
-    /// Sends one request line.
-    ///
-    /// # Errors
-    ///
-    /// Any socket write failure.
-    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
-        self.writer.write_all(req.to_line().as_bytes())?;
-        self.writer.flush()
-    }
-
-    /// Sends one raw line (appends the newline).
-    ///
-    /// # Errors
-    ///
-    /// Any socket write failure.
-    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
-    }
-
-    /// Receives one response line (`None` on EOF), trimmed.
-    ///
-    /// # Errors
-    ///
-    /// Any socket read failure.
-    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Ok(None);
-        }
-        Ok(Some(line.trim_end().to_string()))
-    }
-
-    /// Receives and parses one response (`None` on EOF).
-    ///
-    /// # Errors
-    ///
-    /// Socket read failures, or a response line that is not valid JSON
-    /// (mapped to [`std::io::ErrorKind::InvalidData`]).
-    pub fn recv(&mut self) -> std::io::Result<Option<Json>> {
-        match self.recv_line()? {
-            None => Ok(None),
-            Some(line) => Json::parse(&line)
-                .map(Some)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
-        }
-    }
-
-    /// Half-closes the write side: the server sees EOF, finishes this
-    /// connection's in-flight jobs, sends `bye`, and closes. Remaining
-    /// responses stay readable via [`Client::recv`].
-    ///
-    /// # Errors
-    ///
-    /// Any socket shutdown failure.
-    pub fn finish(&mut self) -> std::io::Result<()> {
-        self.writer.shutdown(Shutdown::Write)
     }
 }

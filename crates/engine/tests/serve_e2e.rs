@@ -13,8 +13,8 @@ use paulihedral::{CompileError, Scheduler};
 use ph_engine::json::Json;
 use ph_engine::proto::{self, CompileRequest, Request};
 use ph_engine::{
-    BatchEngine, Client, CompileJob, CompileUnit, Engine, Pass, PassContext, Pipeline, ServeConfig,
-    ServeStats, Server, ServerHandle, Target,
+    BatchEngine, CompileJob, CompileUnit, Connection, Engine, Pass, PassContext, Pipeline,
+    ServeConfig, ServeStats, Server, ServerHandle, Target,
 };
 use workloads::suite::{self, BackendClass};
 
@@ -45,7 +45,7 @@ fn compile_req(id: u64, ir: &str) -> Request {
     })
 }
 
-fn recv(client: &mut Client) -> Json {
+fn recv(client: &mut Connection) -> Json {
     client
         .recv()
         .expect("socket read")
@@ -156,7 +156,7 @@ impl Pass for PanicPass {
 fn streamed_suite_reports_are_bit_identical_to_in_process_compiles() {
     let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant);
     let (addr, handle, runner) = spawn_server(engine, ServeConfig::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     // Submit all 31 benchmarks up front; the wire carries the printed IR,
     // so the in-process reference compiles the *same* text.
@@ -248,7 +248,7 @@ fn streamed_suite_reports_are_bit_identical_to_in_process_compiles() {
 fn reports_stream_interactively_without_a_batch_barrier() {
     let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(1);
     let (addr, handle, runner) = spawn_server(engine, ServeConfig::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     client.send(&compile_req(1, TINY_IR)).expect("send");
     let first = recv(&mut client);
@@ -279,7 +279,7 @@ fn reports_stream_interactively_without_a_batch_barrier() {
 fn shutdown_drains_accepted_jobs_before_exiting() {
     let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(1);
     let (addr, _handle, runner) = spawn_server(engine, ServeConfig::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     for id in 1..=3 {
         client.send(&compile_req(id, TINY_IR)).expect("send");
@@ -324,7 +324,7 @@ fn full_queue_rejects_with_overloaded() {
         ..ServeConfig::default()
     };
     let (addr, handle, runner) = spawn_server(engine, config);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     // Job 1 occupies the worker (blocked inside the gate), job 2 fills the
     // queue, job 3 must bounce.
@@ -358,7 +358,7 @@ fn queued_jobs_past_their_deadline_are_expired() {
     let gate = GatePass::default();
     let engine = BatchEngine::new(gated_pipeline(&gate), Target::FaultTolerant).with_threads(1);
     let (addr, handle, runner) = spawn_server(engine, ServeConfig::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     client.send(&compile_req(1, TINY_IR)).expect("send");
     wait_for(|| gate.entered() >= 1, "worker to enter the gated compile");
@@ -396,7 +396,7 @@ fn queued_jobs_past_their_deadline_are_expired() {
 fn errors_are_values_and_the_connection_survives_them() {
     let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(2);
     let (addr, handle, runner) = spawn_server(engine, ServeConfig::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     client.send_raw("this is not json").expect("send");
     let err = recv(&mut client);
@@ -466,7 +466,7 @@ fn a_panicking_pass_is_reported_not_fatal() {
         .build();
     let engine = BatchEngine::new(pipeline, Target::FaultTolerant).with_threads(1);
     let (addr, handle, runner) = spawn_server(engine, ServeConfig::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     client.send(&compile_req(1, TINY_IR)).expect("send");
     let report = recv(&mut client);
@@ -520,7 +520,7 @@ fn batch_jobs_that_panic_become_per_job_errors() {
 fn wire_stats_expose_service_and_cache_counters() {
     let engine = BatchEngine::new(Pipeline::auto(), Target::FaultTolerant).with_threads(1);
     let (addr, handle, runner) = spawn_server(engine, ServeConfig::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Connection::connect(addr).expect("connect");
 
     client.send(&compile_req(1, TINY_IR)).expect("send");
     assert!(is_ok_report(&recv(&mut client)));

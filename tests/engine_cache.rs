@@ -5,10 +5,13 @@
 //! bounded memory tier must evict without ever changing results.
 
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
+use std::thread;
 
-use ph_engine::{BatchEngine, CacheConfig, CompileJob, Pipeline, Target};
+use ph_engine::cache::{CacheEntry, CompileCache};
+use ph_engine::{BatchEngine, CacheConfig, CompileJob, Engine, Pipeline, Target};
 use workloads::suite;
 
 /// A unique, self-cleaning cache directory under the system temp dir.
@@ -201,6 +204,109 @@ fn bounded_cache_evicts_without_changing_results() {
         let want = if i % 2 == 0 { ra } else { rb };
         assert_eq!(out.compiled.circuit, want.compiled.circuit, "job-{i}");
     }
+}
+
+/// A real cache entry (compiled artifact + report) for direct
+/// [`CompileCache`] tests that bypass the engine.
+fn real_entry(name: &str) -> CacheEntry {
+    let ir = suite::generate(name).ir;
+    let out = Engine::new(Pipeline::auto(), Target::FaultTolerant)
+        .compile(&ir)
+        .expect("suite benchmark compiles");
+    CacheEntry {
+        compiled: out.compiled,
+        report: out.report,
+    }
+}
+
+#[test]
+fn concurrent_opens_sweep_orphaned_tmp_files_exactly_once() {
+    let dir = CacheDir::new("tmp-sweep");
+    fs::create_dir_all(&dir.0).unwrap();
+    const ORPHANS: usize = 5;
+    for i in 0..ORPHANS {
+        fs::write(dir.0.join(format!("dead-writer-{i}.tmp")), b"partial").unwrap();
+    }
+    // A non-tmp bystander must survive the sweep.
+    fs::write(dir.0.join("0123456789abcdef.phc"), b"PH").unwrap();
+
+    // Two engines open the same cache dir at the same instant: each tmp
+    // file is removed by exactly one of them (remove_file is the atomic
+    // arbiter), so the counts sum to ORPHANS — no double-count, no race.
+    let barrier = Arc::new(Barrier::new(2));
+    let counts: Vec<u64> = [dir.config(), dir.config()]
+        .into_iter()
+        .map(|config| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                CompileCache::with_config(config).stats().tmp_swept
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("sweeping thread must not panic"))
+        .collect();
+
+    assert_eq!(
+        counts.iter().sum::<u64>(),
+        ORPHANS as u64,
+        "every orphan swept exactly once (per-open counts: {counts:?})"
+    );
+    let leftover: Vec<_> = fs::read_dir(&dir.0).unwrap().flatten().collect();
+    assert_eq!(leftover.len(), 1, "only the .phc bystander survives");
+    assert_eq!(leftover[0].file_name(), "0123456789abcdef.phc");
+}
+
+#[test]
+fn panicking_leader_does_not_wedge_or_poison_the_cache() {
+    let cache = Arc::new(CompileCache::new());
+    const KEY: u64 = 0x0dd_ba11;
+
+    // A waiter coalesces onto the in-flight compute while the leader
+    // panics mid-closure; the waiter must take over, not hang or die.
+    let in_compute = Arc::new(Barrier::new(2));
+    let waiter = {
+        let cache = Arc::clone(&cache);
+        let in_compute = Arc::clone(&in_compute);
+        thread::spawn(move || {
+            in_compute.wait();
+            cache.get_or_compute::<()>(KEY, || Ok(real_entry("Ising-1D")))
+        })
+    };
+
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        let _ = cache.get_or_compute::<()>(KEY, || -> Result<CacheEntry, ()> {
+            in_compute.wait();
+            // Give the waiter a moment to register as a coalescer so the
+            // takeover path (not just a fresh lead) is exercised.
+            thread::sleep(std::time::Duration::from_millis(20));
+            panic!("injected fault: leader panic");
+        });
+    }));
+    assert!(unwound.is_err(), "leader panic propagates to its caller");
+
+    let (entry, _) = waiter
+        .join()
+        .expect("waiter survives the leader's panic")
+        .expect("waiter recomputes successfully");
+
+    // Locks stayed usable: stats, hits on the published entry, and a
+    // fresh compute under a different key all work after the panic.
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 1, "exactly the waiter's entry is resident");
+    assert!(stats.misses >= 1);
+    let (again, _) = cache
+        .get_or_compute::<()>(KEY, || panic!("must be served from cache"))
+        .unwrap();
+    assert!(
+        Arc::ptr_eq(&entry.compiled, &again.compiled),
+        "post-panic lookups share the published allocation"
+    );
+    cache
+        .get_or_compute::<()>(KEY + 1, || Ok(real_entry("Heisen-1D")))
+        .expect("unrelated keys still compute after a panic");
+    assert_eq!(cache.stats().entries, 2);
 }
 
 #[test]

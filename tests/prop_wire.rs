@@ -1,0 +1,121 @@
+//! Property tests on the wire formats: the JSON parser and the request
+//! decoder must never panic — truncated, mutated, or outright random
+//! input produces a typed error with an in-bounds byte offset, and valid
+//! requests round-trip bit-exactly. This is the client/server trust
+//! boundary: a server must survive any line a broken or malicious peer
+//! can send, and a client must survive a fault-truncated response.
+
+use paulihedral::Scheduler;
+use ph_engine::json::Json;
+use ph_engine::proto::{CompileRequest, Request};
+use proptest::prelude::*;
+
+/// Strings that stress the JSON escaper: printable ASCII (quotes and
+/// backslashes included), control characters, and multi-byte UTF-8.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0u32..100).prop_map(|c| match c {
+            0..=94 => char::from_u32(c + 32).unwrap(), // ' '..'~', with " and \
+            95 => '\n',
+            96 => '\t',
+            97 => 'é',
+            98 => '→',
+            _ => '🦀',
+        }),
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Any syntactically valid compile request, options toggled independently.
+fn arb_request() -> impl Strategy<Value = CompileRequest> {
+    (
+        (any::<u64>(), arb_text(), any::<bool>()),
+        (arb_text(), 0u64..10_000, any::<bool>(), 0u8..4),
+    )
+        .prop_map(
+            |((id, name, has_name), (ir, deadline, artifact, sched))| CompileRequest {
+                id,
+                name: has_name.then_some(name),
+                ir,
+                backend: (sched == 3).then(|| "manhattan".to_string()),
+                scheduler: match sched {
+                    0 => None,
+                    1 => Some(Scheduler::GateCount),
+                    2 => Some(Scheduler::Depth),
+                    _ => Some(Scheduler::Auto),
+                },
+                deadline_ms: (deadline > 0).then_some(deadline),
+                artifact,
+            },
+        )
+}
+
+/// A valid request line plus a byte position inside it.
+fn arb_line_and_pos() -> impl Strategy<Value = (String, usize)> {
+    arb_request().prop_flat_map(|req| {
+        let line = Request::Compile(req).to_line().trim_end().to_string();
+        let len = line.len();
+        (Just(line), 0..len)
+    })
+}
+
+proptest! {
+    // Escaping is lossless: every request survives the wire verbatim,
+    // whatever its strings contain.
+    #[test]
+    fn valid_requests_round_trip_bit_exactly(req in arb_request()) {
+        let wire = Request::Compile(req.clone());
+        let line = wire.to_line();
+        prop_assert!(line.ends_with('\n'));
+        prop_assert_eq!(Request::from_line(line.trim_end()), Ok(wire));
+    }
+
+    // A response or request cut off mid-line (a torn write, a dropped
+    // connection) decodes to an error, never a panic — and the JSON
+    // parser's reported offset stays inside the input.
+    #[test]
+    fn truncated_requests_error_with_in_bounds_offsets(cut_line in arb_line_and_pos()) {
+        let (line, cut) = cut_line;
+        let bytes = &line.as_bytes()[..cut];
+        let truncated = String::from_utf8_lossy(bytes);
+        if let Err(message) = Request::from_line(&truncated) {
+            prop_assert!(!message.is_empty());
+        }
+        if let Err(e) = Json::parse(&truncated) {
+            prop_assert!(
+                e.offset <= truncated.len(),
+                "offset {} out of bounds for len {}",
+                e.offset,
+                truncated.len()
+            );
+        }
+    }
+
+    // One flipped byte anywhere in a valid line (a bit-flip fault, a
+    // corrupted buffer) is decoded or rejected — never a panic.
+    #[test]
+    fn mutated_requests_never_panic(
+        flip_line in arb_line_and_pos(),
+        flip in any::<u8>(),
+    ) {
+        let (line, pos) = flip_line;
+        let mut bytes = line.into_bytes();
+        bytes[pos] ^= flip | 1; // always a real change
+        let mutated = String::from_utf8_lossy(&bytes);
+        let _ = Request::from_line(&mutated);
+        if let Err(e) = Json::parse(&mutated) {
+            prop_assert!(e.offset <= mutated.len());
+        }
+    }
+
+    // Entirely arbitrary bytes: the parser terminates with either a
+    // value or an offset-carrying error.
+    #[test]
+    fn random_bytes_never_panic_the_parser(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let input = String::from_utf8_lossy(&bytes);
+        if let Err(e) = Json::parse(&input) {
+            prop_assert!(e.offset <= input.len());
+        }
+    }
+}
